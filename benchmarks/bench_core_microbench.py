@@ -1,0 +1,67 @@
+"""Microbenchmarks of the scheduler's own hot paths (§3.6's concern).
+
+These time the library's algorithmic core (not the simulated GPUs):
+geo-clustering, incremental dependency-graph commits, and the serving
+simulator's event throughput — the operations whose cost the paper's C++
+controller minimizes.
+"""
+
+import numpy as np
+
+from repro._util import FastRng
+from repro.config import DependencyConfig, SchedulerConfig, ServingConfig
+from repro.core import DependencyRules, run_replay
+from repro.core.clustering import geo_clustering
+from repro.core.dependency_graph import SpatioTemporalGraph
+from repro.core.space import EuclideanSpace
+
+
+def _positions(n, seed=0, side=600):
+    rng = FastRng(seed)
+    return [(rng.integers(0, side), rng.integers(0, side)) for _ in range(n)]
+
+
+def test_geo_clustering_1000_agents(benchmark):
+    ids = list(range(1000))
+    pos = _positions(1000)
+    clusters = benchmark(geo_clustering, ids, pos, EuclideanSpace(), 5.0)
+    assert sum(len(c) for c in clusters) == 1000
+
+
+def test_dependency_graph_commit_throughput(benchmark):
+    rules = DependencyRules(DependencyConfig())
+    pos = dict(enumerate(_positions(500)))
+
+    def thousand_commits():
+        graph = SpatioTemporalGraph(rules, pos)
+        rng = FastRng(1)
+        for _ in range(1000):
+            aid = rng.integers(0, 500)
+            if graph.running[aid] or graph.is_blocked(aid):
+                continue
+            # singleton commit (agents are sparse at this density)
+            cluster = [aid]
+            if any(rules.coupled(graph.pos[aid], graph.pos[o])
+                   and graph.step[o] == graph.step[aid]
+                   and o != aid and not graph.running[o]
+                   for o in graph.index.query(graph.pos[aid], 5.0)):
+                continue
+            graph.mark_running(cluster)
+            graph.commit(cluster, {aid: graph.pos[aid]})
+        return graph
+
+    graph = benchmark(thousand_commits)
+    assert graph.max_step >= 1
+
+
+def test_replay_event_throughput(benchmark):
+    from helpers_bench import small_replay_trace
+    trace = small_replay_trace()
+
+    def replay():
+        return run_replay(
+            trace, SchedulerConfig(policy="metropolis"),
+            ServingConfig(model="llama3-8b", gpu="l4", dp=2))
+
+    result = benchmark(replay)
+    assert result.n_calls_completed == trace.n_calls

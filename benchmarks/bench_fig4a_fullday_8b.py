@@ -1,0 +1,33 @@
+"""Figure 4a: 25-agent SmallVille day, Llama-3-8B on NVIDIA L4 GPUs.
+
+Completion time for single-thread / parallel-sync / metropolis / oracle
+(+ the critical bound) across data-parallel GPU counts. Paper results:
+metropolis beats single-thread 2.38x (1 GPU) to 3.25x (8 GPUs) and
+parallel-sync 1.44x to 1.67x, reaching 74.7-82.9% of oracle; achieved
+parallelism 0.95 / 1.94 / 3.46 on 8 GPUs.
+"""
+
+
+def test_fig4a_fullday_llama8b_l4(benchmark, experiment_runner):
+    data = experiment_runner("fig4a", benchmark)
+    policies = data["policies"]
+    for gpus in data["gpus"]:
+        single = policies["single-thread"][gpus]["time"]
+        psync = policies["parallel-sync"][gpus]["time"]
+        metro = policies["metropolis"][gpus]["time"]
+        oracle = policies["oracle"][gpus]["time"]
+        critical = data["bounds"][gpus]["critical"]
+        # Paper's ordering must reproduce at every GPU count.
+        assert metro < psync < single
+        assert oracle <= metro * 1.05
+        assert critical <= oracle * 1.001
+        # Shape: speedup bands (loose, simulator not testbed).
+        assert 1.15 <= single / metro <= 8.0
+        assert 1.05 <= psync / metro <= 4.0
+        # Metropolis reaches a large fraction of oracle (paper: 74-83%).
+        assert oracle / metro >= 0.6
+    # Parallelism ordering on the largest deployment.
+    top = max(data["gpus"])
+    assert (policies["single-thread"][top]["parallelism"]
+            < policies["parallel-sync"][top]["parallelism"]
+            < policies["metropolis"][top]["parallelism"])

@@ -1,0 +1,19 @@
+"""Figure 4b: 25-agent SmallVille day, Llama-3-70B (TP4) on A100 GPUs.
+
+Same comparison as Figure 4a on the large-model platform. Paper: 2.45x
+over single-thread, 1.45x over parallel-sync, 82% of oracle on 8 GPUs
+(DP2 x TP4).
+"""
+
+
+def test_fig4b_fullday_llama70b_a100(benchmark, experiment_runner):
+    data = experiment_runner("fig4b", benchmark)
+    policies = data["policies"]
+    for gpus in data["gpus"]:
+        single = policies["single-thread"][gpus]["time"]
+        psync = policies["parallel-sync"][gpus]["time"]
+        metro = policies["metropolis"][gpus]["time"]
+        oracle = policies["oracle"][gpus]["time"]
+        assert metro < psync < single
+        assert oracle <= metro * 1.05
+        assert oracle / metro >= 0.6  # paper: 82%

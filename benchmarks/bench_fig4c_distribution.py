@@ -1,0 +1,17 @@
+"""Figure 4c: LLM query distribution over the simulated day.
+
+Histogram of calls per simulated hour for the 25-agent day: the 1am-4am
+trough (all agents asleep), the ~800-call quiet hour (6-7am) and the
+~5k-call busy hour (12-1pm) that the scaling benchmarks replay.
+"""
+
+
+def test_fig4c_query_distribution(benchmark, experiment_runner):
+    data = experiment_runner("fig4c", benchmark)
+    per_hour = data["calls_per_hour"]
+    assert per_hour[1] == per_hour[2] == per_hour[3] == 0  # sleeping
+    assert 400 <= per_hour[6] <= 1400      # paper ~800
+    assert 3000 <= per_hour[12] <= 6500    # paper ~5000
+    assert 45_000 <= data["total_calls"] <= 70_000  # paper 56.7k
+    assert 550 <= data["mean_input_tokens"] <= 750  # paper 642.6
+    assert 15 <= data["mean_output_tokens"] <= 30   # paper 21.9

@@ -1,0 +1,26 @@
+"""Figure 5: scaling to many agents (busy & quiet hours, Llama-3-8B/L4).
+
+Concatenated SmallVilles raise the agent count; each point replays the
+12-1pm busy hour (~5k calls / 25 agents) and the 6-7am quiet hour (~800)
+under parallel-sync / metropolis / oracle, against the gpu-limit bound.
+Paper: the metropolis speedup over parallel-sync grows with agent count
+(busy hour: 1.88x @25 up to 4.15x @500 on 8 GPUs, plateauing at 1000),
+while metropolis itself converges to the oracle (97% at 1000 agents).
+"""
+
+
+def test_fig5_scaling_llama8b_l4(benchmark, experiment_runner):
+    data = experiment_runner("fig5", benchmark)
+    agents = data["agents"]
+    for key, series in data["series"].items():
+        metro = series["metropolis"]
+        psync = series["parallel-sync"]
+        oracle = series["oracle"]
+        speedups = series["metropolis_speedup"]
+        for i in range(len(agents)):
+            assert metro[i] < psync[i]
+            assert oracle[i] <= metro[i] * 1.05
+            assert series["gpu-limit"][i] <= oracle[i] * 1.001
+        # Busy-hour speedup grows with scale (within the measured range).
+        if key.startswith("busy") and len(agents) >= 2:
+            assert speedups[-1] >= speedups[0] * 0.9

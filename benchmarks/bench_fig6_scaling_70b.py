@@ -1,0 +1,14 @@
+"""Figure 6: agent scaling with Llama-3-70B (TP4, DP2) on 8 A100s.
+
+Same methodology as Figure 5 on the large-model platform. Paper: peak
+metropolis speedups of 1.97x (busy, 500 agents) and 2.01x (quiet, 1000
+agents) over parallel-sync.
+"""
+
+
+def test_fig6_scaling_llama70b_a100(benchmark, experiment_runner):
+    data = experiment_runner("fig6", benchmark)
+    for key, series in data["series"].items():
+        for i in range(len(data["agents"])):
+            assert series["metropolis"][i] < series["parallel-sync"][i]
+            assert series["oracle"][i] <= series["metropolis"][i] * 1.05

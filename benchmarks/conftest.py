@@ -1,0 +1,30 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one paper figure/table via
+:mod:`repro.bench.experiments` and prints its table. Experiments run once
+per session (``pedantic(rounds=1)``) because each is itself a full
+multi-policy replay study; the timed quantity is the wall-clock cost of
+regenerating the figure. Set ``REPRO_BENCH_FULL=1`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.bench import run_experiment
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    def run(name: str, benchmark) -> dict:
+        result = benchmark.pedantic(
+            lambda: run_experiment(name), rounds=1, iterations=1)
+        print("\n" + result.table + "\n")
+        return result.data
+
+    return run

@@ -1,0 +1,79 @@
+"""Live (wall-clock) execution: the deployable engine.
+
+Runs the SmallVille world with real threads against a throttled fake LLM
+backend, comparing lock-step against out-of-order control (the same
+Algorithm 3 the virtual-time benches model, but with actual worker
+threads, a transactional KV store, and blocking LLM calls). It also
+verifies the headline correctness property: both runs end in the
+identical world state.
+
+Run:  python examples/live_simulation.py [--agents 8] [--steps 120]
+"""
+
+import argparse
+
+from repro.config import SchedulerConfig
+from repro.live import LiveSimulation, ThrottledLLMClient
+from repro.live.environment import BehaviorProgram
+from repro.world import BehaviorModel, build_smallville, make_personas
+
+
+def make_program(n_agents: int, seed: int) -> BehaviorProgram:
+    world, homes = build_smallville()
+    personas = make_personas(n_agents, seed=seed, homes=homes)
+    return BehaviorProgram(BehaviorModel(world, personas, seed=seed))
+
+
+#: 7:10am — agents are awake, planning, and walking to work.
+WARMUP_STEP = 2580
+
+
+def run(policy: str, n_agents: int, steps: int, seed: int):
+    program = make_program(n_agents, seed)
+    for step in range(WARMUP_STEP):  # fast-forward the quiet night
+        program.model.step_all(step)
+    client = ThrottledLLMClient(base_latency=0.003, per_token=0.0001,
+                                slots=8)
+    sim = LiveSimulation(program, client,
+                         scheduler=SchedulerConfig(policy=policy),
+                         num_workers=8)
+    result = sim.run(target_step=WARMUP_STEP + steps,
+                     start_step=WARMUP_STEP)
+    return program, client, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--agents", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=4)
+    args = parser.parse_args()
+
+    # Start mid-morning commute (persona wake steps are ~6-8am) by running
+    # the window where the world is busiest for its size.
+    print(f"live run: {args.agents} agents, {args.steps} steps, "
+          f"8 worker threads, throttled fake LLM backend\n")
+
+    runs = {}
+    for policy in ("parallel-sync", "metropolis"):
+        program, client, result = run(policy, args.agents, args.steps,
+                                      args.seed)
+        runs[policy] = (program, result)
+        print(f"{policy:<15} wall={result.wall_time:>6.2f}s  "
+              f"clusters={result.clusters_executed:>5}  "
+              f"mean size={result.mean_cluster_size:>5.2f}  "
+              f"spread={result.max_step_spread}  "
+              f"llm calls={client.calls}")
+
+    lock_state = [a.pos for a in runs["parallel-sync"][0].model.agents]
+    ooo_state = [a.pos for a in runs["metropolis"][0].model.agents]
+    assert lock_state == ooo_state, "OOO changed the simulation outcome!"
+    print("\nfinal world states identical across schedulers "
+          "(temporal causality preserved)")
+    speedup = (runs["parallel-sync"][1].wall_time
+               / runs["metropolis"][1].wall_time)
+    print(f"out-of-order wall-clock speedup: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""The paper's flagship scenario: a full day in SmallVille.
+
+Reproduces the §4.2 experiment end-to-end at adjustable scale: generate a
+GenAgent-style day (25 agents, ~55k LLM calls), characterize the trace
+(Figure 4c), replay it across data-parallel GPU counts under every
+scheduler (Figure 4a), and render an execution-timeline snippet
+(Figure 1).
+
+Run:  python examples/smallville_day.py [--hours N] [--gpus 1 8]
+"""
+
+import argparse
+
+from repro import (SchedulerConfig, ServingConfig, STEPS_PER_HOUR,
+                   cached_day_trace, compute_stats, run_replay)
+from repro.instrument import render_ascii_timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--hours", type=int, default=2,
+                        help="simulated hours to replay (from 11am)")
+    parser.add_argument("--gpus", type=int, nargs="+", default=[1, 4])
+    args = parser.parse_args()
+
+    day = cached_day_trace(seed=0)
+    stats = compute_stats(day)
+    print("=== trace characterization (paper §4.1 / Fig 4c) ===")
+    print(f"calls/day: {stats.total_calls}  (paper: ~56.7k)")
+    print(f"mean prompt: {stats.mean_input_tokens:.1f} tok (642.6), "
+          f"mean output: {stats.mean_output_tokens:.1f} tok (21.9)")
+    print(f"mean dependency agents: {stats.mean_dependency_agents:.2f} "
+          f"(1.85)")
+    print("calls per hour:",
+          " ".join(str(int(x)) for x in stats.calls_per_hour))
+
+    window = day.window(11 * STEPS_PER_HOUR,
+                        (11 + args.hours) * STEPS_PER_HOUR)
+    print(f"\n=== replays: {args.hours}h window, {window.n_calls} calls ===")
+    for gpus in args.gpus:
+        serving = ServingConfig(model="llama3-8b", gpu="l4", dp=gpus)
+        row = {}
+        for policy in ("single-thread", "parallel-sync", "metropolis",
+                       "oracle"):
+            row[policy] = run_replay(window,
+                                     SchedulerConfig(policy=policy), serving)
+        m = row["metropolis"]
+        print(f"\n-- {gpus} x L4, Llama-3-8B --")
+        for policy, r in row.items():
+            print(f"  {policy:<15} {r.completion_time:>9.1f}s  "
+                  f"par={r.achieved_parallelism:.2f}")
+        print(f"  speedup vs single-thread: "
+              f"{m.speedup_over(row['single-thread']):.2f}x, "
+              f"vs parallel-sync: {m.speedup_over(row['parallel-sync']):.2f}x"
+              f", {row['oracle'].completion_time / m.completion_time:.0%} "
+              f"of oracle")
+
+    print("\n=== execution timeline snippet (Fig 1), parallel-sync ===")
+    snippet = day.window(12 * STEPS_PER_HOUR, 12 * STEPS_PER_HOUR + 40)
+    result = run_replay(snippet, SchedulerConfig(policy="parallel-sync"),
+                        ServingConfig(model="llama3-8b", gpu="l4", dp=1),
+                        collect_timeline=True)
+    print(render_ascii_timeline(result.timeline.events,
+                                snippet.meta.n_agents, width=100,
+                                step_marks=result.step_completion_times))
+
+
+if __name__ == "__main__":
+    main()

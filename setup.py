@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (legacy editable installs go through ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

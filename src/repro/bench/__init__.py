@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment definitions for every paper figure/table.
+
+Each experiment in :mod:`repro.bench.experiments` regenerates the rows or
+series of one figure/table from the paper's evaluation (§4); the
+``benchmarks/`` pytest-benchmark suite and the ``repro-bench`` CLI both
+drive these functions. Set ``REPRO_BENCH_FULL=1`` for paper-scale runs
+(full days, up to 1000 agents); the default "quick" scale preserves every
+comparison's shape at CI-friendly cost.
+"""
+
+from .experiments import (EXPERIMENTS, ExperimentResult, run_experiment)
+from .runner import PolicyOutcome, bounds_for, hour_window, run_policies
+from .report import format_table, format_ratio
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_policies",
+    "PolicyOutcome",
+    "bounds_for",
+    "hour_window",
+    "format_table",
+    "format_ratio",
+]

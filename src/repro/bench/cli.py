@@ -1,0 +1,56 @@
+"""``repro-bench`` command line: regenerate any paper figure/table.
+
+Examples::
+
+    repro-bench list
+    repro-bench run fig4a
+    repro-bench run fig5 --full
+    repro-bench run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's evaluation figures/tables.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale workloads (slow)")
+    run.add_argument("--out", type=Path, default=None,
+                     help="also write tables to this directory")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            doc_lines = (fn.__doc__ or "").strip().splitlines() or [""]
+            print(f"{name:<20} {doc_lines[0]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        started = time.monotonic()
+        result = run_experiment(name, full=args.full)
+        elapsed = time.monotonic() - started
+        print(result.table)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(result.table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,503 @@
+"""Per-figure/table experiment definitions (the paper's §4 evaluation).
+
+Every entry in :data:`EXPERIMENTS` regenerates one figure or table: same
+workloads (SmallVille days, busy/quiet hours, concatenated villes), same
+deployments (L4/Llama-3-8B, A100/Llama-3-70B TP4, A100/Mixtral TP2), same
+comparisons (single-thread / parallel-sync / metropolis / oracle plus the
+critical and no-dependency bounds). ``full=True`` runs paper scale;
+the default quick scale keeps every comparison but shrinks windows and
+agent counts so the whole suite fits in CI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import DependencyConfig, SchedulerConfig
+from ..core import run_replay
+from ..instrument import render_ascii_timeline
+from ..trace import cached_day_trace, compute_stats, generate_concatenated_trace
+from .report import format_series, format_table
+from .runner import bounds_for, hour_window, run_policies, serving_for
+
+BUSY_HOUR = 12  # 12pm-1pm, ~5k calls / 25 agents
+QUIET_HOUR = 6  # 6am-7am, ~800 calls / 25 agents
+
+
+def full_mode_default() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@dataclass
+class ExperimentResult:
+    name: str
+    #: Human-readable table(s), printed by benches and the CLI.
+    table: str
+    #: Raw numbers for tests and EXPERIMENTS.md.
+    data: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: full-day SmallVille (25 agents)
+# ---------------------------------------------------------------------------
+
+def _fullday_experiment(name: str, platform: str, gpu_counts_full,
+                        gpu_counts_quick, full: bool) -> ExperimentResult:
+    gpus = gpu_counts_full if full else gpu_counts_quick
+    day = cached_day_trace(seed=0)
+    # Quick mode replays a 3-hour slice (11am-2pm) instead of the day.
+    trace = day if full else hour_window(day, 11, n_hours=3)
+    policies = ["single-thread", "parallel-sync", "metropolis", "oracle"]
+    rows = []
+    data: dict = {"gpus": list(gpus), "policies": {}, "bounds": {}}
+    for policy in policies:
+        data["policies"][policy] = {}
+    for num_gpus in gpus:
+        outcomes = run_policies(trace, platform, num_gpus, policies)
+        bounds = bounds_for(trace, platform, num_gpus,
+                            include_no_dependency=False)
+        data["bounds"][num_gpus] = bounds
+        for policy in policies:
+            o = outcomes[policy]
+            data["policies"][policy][num_gpus] = {
+                "time": o.completion_time,
+                "parallelism": o.achieved_parallelism,
+            }
+        m = outcomes["metropolis"]
+        rows.extend(
+            [num_gpus, p, round(outcomes[p].completion_time, 1),
+             round(outcomes[p].achieved_parallelism, 2),
+             f"{outcomes[p].completion_time / m.completion_time:.2f}x"]
+            for p in policies)
+        rows.append([num_gpus, "critical", round(bounds["critical"], 1),
+                     "-", "-"])
+    table = format_table(
+        f"{name}: end-to-end completion time "
+        f"({'full day' if full else '3-hour window'}, 25 agents, {platform})",
+        ["gpus", "policy", "time (s)", "parallelism", "vs metropolis"],
+        rows,
+        note="paper: metropolis 2.38-3.25x over single-thread, 1.44-1.67x "
+             "over parallel-sync, 74.7-82.9% of oracle (L4); parallelism "
+             "0.95 / 1.94 / 3.46 on 8 GPUs")
+    return ExperimentResult(name, table, data)
+
+
+def fig4a(full: bool = False) -> ExperimentResult:
+    """Fig. 4a: Llama-3-8B on 1-8 NVIDIA L4 GPUs."""
+    return _fullday_experiment("fig4a", "l4-8b", (1, 2, 4, 8), (1, 8), full)
+
+
+def fig4b(full: bool = False) -> ExperimentResult:
+    """Fig. 4b: Llama-3-70B (TP4) on 4/8 NVIDIA A100 GPUs."""
+    return _fullday_experiment("fig4b", "a100-70b", (4, 8), (4,), full)
+
+
+def fig4c(full: bool = False) -> ExperimentResult:
+    """Fig. 4c: LLM query distribution over the simulated day."""
+    day = cached_day_trace(seed=0)
+    stats = compute_stats(day)
+    per_hour = [int(x) for x in stats.calls_per_hour]
+    rows = [[h, per_hour[h]] for h in range(24)]
+    table = format_table(
+        "fig4c: LLM calls per simulated hour (25 agents, one day)",
+        ["hour", "calls"], rows,
+        note=f"total {stats.total_calls} (paper ~56.7k); busy 12-1pm "
+             f"{per_hour[12]} (~5k); quiet 6-7am {per_hour[6]} (~800); "
+             f"1am-4am asleep: {per_hour[1:4]}")
+    return ExperimentResult("fig4c", table, {
+        "calls_per_hour": per_hour,
+        "total_calls": stats.total_calls,
+        "mean_input_tokens": stats.mean_input_tokens,
+        "mean_output_tokens": stats.mean_output_tokens,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7: scaling to 1000 agents (busy / quiet hours)
+# ---------------------------------------------------------------------------
+
+def _scaling_experiment(name: str, platform: str, gpu_counts,
+                        full: bool) -> ExperimentResult:
+    override = os.environ.get("REPRO_BENCH_AGENTS", "")
+    if override:
+        agent_counts = tuple(int(x) for x in override.split(","))
+    else:
+        agent_counts = (25, 100, 500, 1000) if full else (25, 100)
+    hours = {"busy": BUSY_HOUR, "quiet": QUIET_HOUR}
+    policies = ["parallel-sync", "metropolis", "oracle"]
+    data: dict = {"agents": list(agent_counts), "series": {}}
+    tables = []
+    for label, hour in hours.items():
+        for num_gpus in gpu_counts:
+            series: dict[str, list[float]] = {p: [] for p in policies}
+            series["gpu-limit"] = []
+            speedups = []
+            for n_agents in agent_counts:
+                day = generate_concatenated_trace(n_agents)
+                trace = hour_window(day, hour)
+                outcomes = run_policies(trace, platform, num_gpus, policies)
+                bounds = bounds_for(trace, platform, num_gpus)
+                for p in policies:
+                    series[p].append(outcomes[p].completion_time)
+                series["gpu-limit"].append(bounds["gpu-limit"])
+                speedups.append(outcomes["parallel-sync"].completion_time
+                                / outcomes["metropolis"].completion_time)
+            key = f"{label}-{num_gpus}gpu"
+            data["series"][key] = {k: list(v) for k, v in series.items()}
+            data["series"][key]["metropolis_speedup"] = speedups
+            tables.append(format_series(
+                f"{name} ({label} hour, {num_gpus} GPUs, {platform}): "
+                f"completion time (s) vs agents",
+                agent_counts, series))
+            tables.append("metropolis speedup over parallel-sync: "
+                          + ", ".join(f"{n}: {s:.2f}x" for n, s in
+                                      zip(agent_counts, speedups)))
+    return ExperimentResult(name, "\n\n".join(tables), data)
+
+
+def fig5(full: bool = False) -> ExperimentResult:
+    """Fig. 5: busy/quiet hour scaling, Llama-3-8B on L4s."""
+    return _scaling_experiment("fig5", "l4-8b", (1, 8) if full else (1,),
+                               full)
+
+
+def fig6(full: bool = False) -> ExperimentResult:
+    """Fig. 6: busy/quiet hour scaling, Llama-3-70B on 8 A100s."""
+    return _scaling_experiment("fig6", "a100-70b", (8,), full)
+
+
+def fig7(full: bool = False) -> ExperimentResult:
+    """Fig. 7: busy/quiet hour scaling, Mixtral-8x7B on 8 A100s."""
+    return _scaling_experiment("fig7", "a100-mixtral", (8,), full)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: priority-scheduling ablation
+# ---------------------------------------------------------------------------
+
+def table1(full: bool = False) -> ExperimentResult:
+    """Table 1: priority-scheduling on/off for metropolis and oracle.
+
+    Priority acts through the contended resources of the paper's
+    architecture: the finite worker pool (ready-queue order) and the
+    serving engine's waiting queue. The pool is sized per §3.1 ("adjusted
+    based on available CPU resources") so that it binds under the
+    500-agent busy-hour load, as on the authors' testbed.
+    """
+    n_agents = 500 if full else 100
+    gpu_counts = (4, 8) if full else (4,)
+    # Sized so the §3.1 worker pool just binds under the busy-hour load
+    # (the regime of the authors' CPU-constrained testbed); see the scan
+    # in EXPERIMENTS.md — an unbounded pool hides the priority effect.
+    num_workers = 24 if full else 12
+    day = generate_concatenated_trace(n_agents)
+    trace = hour_window(day, BUSY_HOUR)
+    rows = []
+    data: dict = {}
+    for policy in ("metropolis", "oracle"):
+        for num_gpus in gpu_counts:
+            with_priority = run_policies(
+                trace, "l4-8b", num_gpus, [policy], priority=True,
+                num_workers=num_workers)[policy]
+            without = run_policies(
+                trace, "l4-8b", num_gpus, [policy], priority=False,
+                num_workers=num_workers)[policy]
+            speedup = (without.completion_time
+                       / with_priority.completion_time - 1.0) * 100.0
+            data[f"{policy}-{num_gpus}"] = {
+                "with": with_priority.completion_time,
+                "without": without.completion_time,
+                "speedup_pct": speedup,
+                "parallelism_with": with_priority.achieved_parallelism,
+                "parallelism_without": without.achieved_parallelism,
+            }
+            rows.append([policy, num_gpus,
+                         round(with_priority.completion_time, 1),
+                         round(without.completion_time, 1),
+                         f"{speedup:.2f}%",
+                         round(with_priority.achieved_parallelism, 1),
+                         round(without.achieved_parallelism, 1)])
+    table = format_table(
+        f"table1: priority scheduling ({n_agents} agents, busy hour, L4)",
+        ["policy", "gpus", "w/ priority (s)", "w/o priority (s)",
+         "speedup", "par w/", "par w/o"],
+        rows,
+        note="paper (500 agents): metropolis gains 3.84% @4 GPUs, 15.7% "
+             "@8 GPUs; oracle ~0%; parallelism 41.9->50.9 vs 69.4->69.9")
+    return ExperimentResult("table1", table, data)
+
+
+# ---------------------------------------------------------------------------
+# Figures 1-2: trace anatomy
+# ---------------------------------------------------------------------------
+
+def fig1(full: bool = False) -> ExperimentResult:
+    """Fig. 1: per-agent LLM invocation streams under parallel-sync."""
+    day = cached_day_trace(seed=0)
+    start = BUSY_HOUR * 360
+    trace = day.window(start, start + (60 if not full else 180))
+    result = run_replay(trace, SchedulerConfig(policy="parallel-sync"),
+                        serving_for("l4-8b", 1), collect_timeline=True)
+    art = render_ascii_timeline(
+        result.timeline.events, trace.meta.n_agents, width=100,
+        step_marks=result.step_completion_times)
+    note = (f"achieved parallelism {result.achieved_parallelism:.2f} "
+            f"(paper: ~1.94 average concurrent LLM queries)")
+    return ExperimentResult("fig1", art + "\n" + note, {
+        "parallelism": result.achieved_parallelism,
+        "events": len(result.timeline.events),
+    })
+
+
+def fig2(full: bool = False) -> ExperimentResult:
+    """§2.2 dependency statistics behind Figure 2."""
+    from ..core.oracle import mean_dependency_count
+    day = cached_day_trace(seed=0)
+    trace = day if full else hour_window(day, 11, n_hours=3)
+    mean_deps = mean_dependency_count(trace)
+    table = format_table(
+        "fig2: real vs enforced dependencies",
+        ["quantity", "value"],
+        [["agents (all-to-all under global sync)", trace.meta.n_agents],
+         ["mean real dependency agents (incl. self)", round(mean_deps, 2)]],
+        note="paper: 1.85 real dependency agents vs 25 enforced")
+    return ExperimentResult("fig2", table, {"mean_dependency_agents": mean_deps})
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md / §6)
+# ---------------------------------------------------------------------------
+
+def ablation_metric(full: bool = False) -> ExperimentResult:
+    """Distance-metric choice (§6 generality): effect on OOO replay."""
+    day = cached_day_trace(seed=0)
+    trace = hour_window(day, BUSY_HOUR)
+    rows = []
+    data = {}
+    for metric in ("euclidean", "chebyshev", "manhattan"):
+        scheduler = SchedulerConfig(
+            policy="metropolis",
+            dependency=DependencyConfig(metric=metric))
+        result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
+        data[metric] = result.completion_time
+        rows.append([metric, round(result.completion_time, 1),
+                     round(result.achieved_parallelism, 2),
+                     result.driver_stats.max_step_spread])
+    table = format_table(
+        "ablation: distance metric (metropolis, busy hour, 1 L4)",
+        ["metric", "time (s)", "parallelism", "max spread"], rows,
+        note="chebyshev under-approximates euclidean distance on the grid "
+             "(stricter rules); manhattan over-approximates (looser)")
+    return ExperimentResult("ablation_metric", table, data)
+
+
+def ablation_radius(full: bool = False) -> ExperimentResult:
+    """Sensitivity of OOO benefit to the perception radius."""
+    day = cached_day_trace(seed=0)
+    trace = hour_window(day, BUSY_HOUR)
+    rows = []
+    data = {}
+    for radius in (2.0, 4.0, 8.0, 16.0):
+        scheduler = SchedulerConfig(
+            policy="metropolis",
+            dependency=DependencyConfig(radius_p=radius))
+        result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
+        data[radius] = result.completion_time
+        rows.append([radius, round(result.completion_time, 1),
+                     round(result.achieved_parallelism, 2),
+                     round(result.driver_stats.mean_cluster_size, 2)])
+    table = format_table(
+        "ablation: perception radius (metropolis, busy hour, 1 L4)",
+        ["radius_p", "time (s)", "parallelism", "mean cluster"], rows,
+        note="larger radii couple more agents -> less OOO headroom; the "
+             "trace itself was generated at radius 4 (GenAgent)")
+    return ExperimentResult("ablation_radius", table, data)
+
+
+def ablation_fidelity(full: bool = False) -> ExperimentResult:
+    """Fluid vs per-iteration serving simulation agreement."""
+    day = cached_day_trace(seed=0)
+    start = BUSY_HOUR * 360
+    trace = day.window(start, start + (360 if full else 90))
+    rows = []
+    data = {}
+    for fidelity in ("fluid", "iteration"):
+        outcome = run_policies(trace, "l4-8b", 1, ["metropolis"],
+                               fidelity=fidelity)["metropolis"]
+        data[fidelity] = outcome.completion_time
+        rows.append([fidelity, round(outcome.completion_time, 2),
+                     round(outcome.achieved_parallelism, 2)])
+    gap = abs(data["fluid"] - data["iteration"]) / data["iteration"] * 100
+    table = format_table(
+        "ablation: serving-simulation fidelity (metropolis)",
+        ["fidelity", "time (s)", "parallelism"], rows,
+        note=f"relative completion-time gap {gap:.2f}% (fluid mode is the "
+             f"O(log n) fast path used at 1000-agent scale)")
+    data["gap_pct"] = gap
+    return ExperimentResult("ablation_fidelity", table, data)
+
+
+def ablation_workers(full: bool = False) -> ExperimentResult:
+    """Worker-pool cap (§3.6 scalability of the controller/worker split)."""
+    day = cached_day_trace(seed=0)
+    trace = hour_window(day, BUSY_HOUR)
+    rows = []
+    data = {}
+    for workers in (1, 2, 8, 0):
+        scheduler = SchedulerConfig(policy="metropolis", num_workers=workers)
+        result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
+        label = workers if workers else "unbounded"
+        data[str(label)] = result.completion_time
+        rows.append([label, round(result.completion_time, 1),
+                     round(result.achieved_parallelism, 2)])
+    table = format_table(
+        "ablation: worker pool size (metropolis, busy hour, 1 L4)",
+        ["workers", "time (s)", "parallelism"], rows,
+        note="too few workers serialize clusters and waste the GPU")
+    return ExperimentResult("ablation_workers", table, data)
+
+
+def ablation_interactive(full: bool = False) -> ExperimentResult:
+    """§6 hybrid deployment: latency for a player-adjacent agent.
+
+    Marks one agent latency-critical: its clusters and LLM requests
+    preempt step-priority order. Reports that agent's per-step latency
+    distribution against the plain OOO run, and the throughput cost to
+    the background simulation — the interactive/offline balance the
+    paper's future-work section describes.
+    """
+    import numpy as np
+
+    # Interactive latency only matters under contention: saturate the
+    # worker pool and GPU with many background agents.
+    n_agents = 500 if full else 100
+    num_workers = 32 if full else 12
+    day = generate_concatenated_trace(n_agents)
+    trace = hour_window(day, BUSY_HOUR)
+    serving = serving_for("l4-8b", 1)
+    rows = []
+    data = {}
+    for label, boost in (("background", False), ("interactive", True)):
+        scheduler = SchedulerConfig(policy="metropolis",
+                                    interactive_agents=(0,),
+                                    interactive_boost=boost,
+                                    num_workers=num_workers)
+        result = run_replay(trace, scheduler, serving)
+        lat = result.driver_stats.extra["interactive_latencies"] or [0.0]
+        mean_lat = float(np.mean(lat))
+        p95 = float(np.percentile(lat, 95))
+        data[label] = {"completion": result.completion_time,
+                       "mean_latency": mean_lat, "p95_latency": p95}
+        rows.append([label, round(result.completion_time, 1),
+                     round(mean_lat, 3), round(p95, 3)])
+    table = format_table(
+        "ablation: interactive agent priority (metropolis, busy hour, 1 L4)",
+        ["mode", "total time (s)", "mean step lat (s)", "p95 (s)"],
+        rows,
+        note="§6: latency-critical foreground agents preempt background "
+             "throughput scheduling")
+    return ExperimentResult("ablation_interactive", table, data)
+
+
+def ablation_prefix_cache(full: bool = False) -> ExperimentResult:
+    """§4.1's note: SGLang's prefix cache gives ~20% throughput.
+
+    Replays the busy hour with the common-prefix cache modelled at
+    several hit rates (GenAgent prompts share persona/world preambles).
+    """
+    from dataclasses import replace as dc_replace
+
+    day = cached_day_trace(seed=0)
+    trace = hour_window(day, BUSY_HOUR)
+    rows = []
+    data = {}
+    base = serving_for("l4-8b", 1)
+    for hit in (0.0, 0.3, 0.6):
+        serving = dc_replace(base, prefix_cache_hit_rate=hit)
+        result = run_replay(trace, SchedulerConfig(policy="metropolis"),
+                            serving)
+        data[hit] = result.completion_time
+        rows.append([f"{hit:.0%}", round(result.completion_time, 1),
+                     f"{data[0.0] / result.completion_time:.2f}x"])
+    table = format_table(
+        "ablation: common-prefix cache hit rate (metropolis, busy hour, "
+        "1 L4)",
+        ["hit rate", "time (s)", "speedup"], rows,
+        note="paper: enabling SGLang's cache gave ~20% throughput across "
+             "settings (they benchmark with it off for stability)")
+    return ExperimentResult("ablation_prefix_cache", table, data)
+
+
+def ablation_speculative(full: bool = False) -> ExperimentResult:
+    """§6 speculative execution: how much of the oracle gap it closes.
+
+    Compares plain metropolis, speculative metropolis (several budgets)
+    and the oracle on the busy hour. The race detector is a replay-mode
+    lookahead; misspeculations and squashes re-execute at full cost.
+    """
+    day = cached_day_trace(seed=0)
+    trace = hour_window(day, BUSY_HOUR)
+    serving = serving_for("l4-8b", 1)
+    rows = []
+    data = {}
+    metro = run_replay(trace, SchedulerConfig(policy="metropolis"), serving)
+    oracle = run_replay(trace, SchedulerConfig(policy="oracle"), serving)
+    data["metropolis"] = metro.completion_time
+    data["oracle"] = oracle.completion_time
+    rows.append(["metropolis", metro.completion_time, "-", "-", "-"])
+    for budget in (4, 8, 16):
+        result = run_replay(
+            trace, SchedulerConfig(policy="metropolis-spec",
+                                   speculation_budget=budget), serving)
+        extra = result.driver_stats.extra
+        gap_closed = ((metro.completion_time - result.completion_time)
+                      / max(metro.completion_time - oracle.completion_time,
+                            1e-9) * 100)
+        data[f"spec-{budget}"] = result.completion_time
+        data[f"gap_closed_{budget}_pct"] = gap_closed
+        rows.append([f"spec (budget {budget})",
+                     round(result.completion_time, 1),
+                     extra["speculations"], extra["squashes"],
+                     f"{gap_closed:.0f}%"])
+    rows.append(["oracle", round(oracle.completion_time, 1), "-", "-",
+                 "100%"])
+    table = format_table(
+        "ablation: speculative execution (busy hour, 1 L4)",
+        ["policy", "time (s)", "speculations", "squashes",
+         "oracle gap closed"],
+        rows,
+        note="§6: speculation overlaps blocked waiting with execution; "
+             "commits retire in order so outcomes are unchanged")
+    return ExperimentResult("ablation_speculative", table, data)
+
+
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig4c": fig4c,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "table1": table1,
+    "ablation_metric": ablation_metric,
+    "ablation_radius": ablation_radius,
+    "ablation_fidelity": ablation_fidelity,
+    "ablation_workers": ablation_workers,
+    "ablation_interactive": ablation_interactive,
+    "ablation_prefix_cache": ablation_prefix_cache,
+    "ablation_speculative": ablation_speculative,
+}
+
+
+def run_experiment(name: str, full: bool | None = None) -> ExperimentResult:
+    """Run one named experiment (quick scale unless ``full``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    if full is None:
+        full = full_mode_default()
+    return EXPERIMENTS[name](full)

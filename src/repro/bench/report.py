@@ -1,0 +1,38 @@
+"""Plain-text tables for bench output (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 note: str | None = None) -> str:
+    """Fixed-width table with a title rule, GitHub-style."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.1f}" if isinstance(v, float) else str(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if note:
+        lines.append(f"({note})")
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]]) -> str:
+    """A figure's line series as a table with one column per x value."""
+    headers = ["series", *[str(x) for x in xs]]
+    rows = [[name, *[f"{v:.1f}" for v in values]]
+            for name, values in series.items()]
+    return format_table(title, headers, rows)

@@ -1,0 +1,167 @@
+"""Configuration objects shared across the library.
+
+The defaults mirror the GenAgent / SmallVille setup the paper evaluates:
+10-second simulation steps, a perception radius of 4 grid units and a
+movement/information-propagation speed of 1 grid unit per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from .errors import ConfigError
+
+#: Simulated seconds represented by one simulation step (GenAgent uses 10s).
+SECONDS_PER_STEP = 10
+#: Steps in one simulated day.
+STEPS_PER_DAY = 24 * 3600 // SECONDS_PER_STEP  # 8640
+#: Steps in one simulated hour.
+STEPS_PER_HOUR = 3600 // SECONDS_PER_STEP  # 360
+
+
+@dataclass(frozen=True)
+class DependencyConfig:
+    """Parameters of the §3.2 dependency rules.
+
+    Attributes
+    ----------
+    radius_p:
+        Perception radius — how far an agent can read the world.
+    max_vel:
+        Maximum movement / information-propagation speed per step — how far
+        an agent's writes can reach in one step.
+    metric:
+        Distance metric used by the rules. ``euclidean`` matches the paper;
+        ``chebyshev``/``manhattan`` suit grid worlds; ``graph`` enables the
+        §6 non-Euclidean (social network) extension via a custom Space.
+    """
+
+    radius_p: float = 4.0
+    max_vel: float = 1.0
+    metric: Literal["euclidean", "chebyshev", "manhattan", "graph"] = "euclidean"
+
+    def __post_init__(self) -> None:
+        if self.radius_p < 0:
+            raise ConfigError(f"radius_p must be >= 0, got {self.radius_p}")
+        if self.max_vel <= 0:
+            raise ConfigError(f"max_vel must be > 0, got {self.max_vel}")
+
+    @property
+    def couple_threshold(self) -> float:
+        """Distance at or below which two same-step agents are coupled."""
+        return self.radius_p + self.max_vel
+
+    def block_threshold(self, step_gap: int) -> float:
+        """Distance at or below which a leader is blocked by a laggard.
+
+        ``step_gap`` is ``step_leader - step_laggard`` and must be >= 0.
+        """
+        if step_gap < 0:
+            raise ConfigError(f"step_gap must be >= 0, got {step_gap}")
+        return (step_gap + 1) * self.max_vel + self.radius_p
+
+
+@dataclass(frozen=True)
+class OverheadConfig:
+    """Non-LLM costs charged in virtual time.
+
+    The paper measures ~95% of execution in LLM inference for the original
+    implementation; these constants model the remaining engine work.
+    """
+
+    #: Seconds of world/agent bookkeeping per agent-step (perceive, move...).
+    agent_step: float = 0.015
+    #: Seconds for a cluster commit (conflict resolution + DB transaction).
+    cluster_commit: float = 0.002
+    #: Seconds of controller work per scheduling decision (clustering etc.).
+    controller_dispatch: float = 0.0005
+    #: Extra per-step serialization cost for the single-thread baseline
+    #: (the original GenAgent implementation does everything inline).
+    single_thread_step: float = 0.05
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler selection and options for a replay run."""
+
+    policy: Literal[
+        "single-thread", "parallel-sync", "metropolis", "metropolis-spec",
+        "oracle", "no-dependency",
+    ] = "metropolis"
+    #: Step-priority scheduling (§3.5). Applies to metropolis and oracle.
+    priority: bool = True
+    #: Number of logical worker slots. ``0`` means unbounded (the DES does
+    #: not need CPU limits; live mode uses real threads).
+    num_workers: int = 0
+    #: Validate the §3.2 condition at every state change (slow; for tests).
+    validate_causality: bool = False
+    #: §6 hybrid/interactive deployment: agents whose tasks (and clusters)
+    #: are latency-critical — e.g. the ones a player interacts with. Their
+    #: LLM requests and dispatches preempt step-priority ordering, and
+    #: their per-step latency is reported in the driver stats.
+    interactive_agents: tuple[int, ...] = ()
+    #: Set False to *measure* interactive agents' step latency without
+    #: giving them preemptive priority (the ablation baseline).
+    interactive_boost: bool = True
+    #: How many steps ahead the interactive agents' dependency cone is
+    #: boosted: any cluster within ``block_threshold(horizon)`` of an
+    #: interactive agent could block it within ``horizon`` steps, so it is
+    #: served latency-first too. The far background stays throughput-first.
+    interactive_horizon: int = 30
+    #: Maximum blocked clusters executing speculatively at once (§6
+    #: speculative execution; used by the ``metropolis-spec`` policy).
+    speculation_budget: int = 8
+    dependency: DependencyConfig = field(default_factory=DependencyConfig)
+    overhead: OverheadConfig = field(default_factory=OverheadConfig)
+
+    def with_policy(self, policy: str, **kw) -> "SchedulerConfig":
+        return replace(self, policy=policy, **kw)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Simulated serving engine deployment shape."""
+
+    model: str = "llama3-8b"
+    gpu: str = "l4"
+    #: Number of data-parallel replicas.
+    dp: int = 1
+    #: Tensor-parallel degree within each replica.
+    tp: int = 1
+    #: ``iteration`` simulates each decode iteration; ``fluid`` advances an
+    #: equivalent token clock between batch-composition changes (fast).
+    fidelity: Literal["fluid", "iteration"] = "fluid"
+    #: Order the waiting queue by request priority (simulation step).
+    priority_scheduling: bool = True
+    #: Fraction of post-weights GPU memory usable for KV cache.
+    kv_memory_fraction: float = 0.9
+    #: Cap on requests decoded concurrently per replica (engine limit).
+    max_running_requests: int = 256
+    #: Fraction of prompt tokens served from the common-prefix cache
+    #: (SGLang's RadixAttention). The paper benchmarks with the cache
+    #: *off* for stability and notes ~20% throughput gain when on; set
+    #: e.g. 0.5 to model it (GenAgent prompts share persona/world
+    #: preambles). Only prefill compute is discounted; KV reservations
+    #: stay conservative.
+    prefix_cache_hit_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dp < 1:
+            raise ConfigError(f"dp must be >= 1, got {self.dp}")
+        if self.tp < 1:
+            raise ConfigError(f"tp must be >= 1, got {self.tp}")
+        if not 0.0 < self.kv_memory_fraction <= 1.0:
+            raise ConfigError(
+                f"kv_memory_fraction must be in (0, 1], got "
+                f"{self.kv_memory_fraction}")
+        if self.max_running_requests < 1:
+            raise ConfigError("max_running_requests must be >= 1")
+        if not 0.0 <= self.prefix_cache_hit_rate < 1.0:
+            raise ConfigError(
+                f"prefix_cache_hit_rate must be in [0, 1), got "
+                f"{self.prefix_cache_hit_rate}")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.dp * self.tp

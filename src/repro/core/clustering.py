@@ -1,0 +1,125 @@
+"""§3.4 geo-clustering and the spatial index behind it.
+
+``geo_clustering`` groups same-step agents whose pairwise chains of
+coupling relations connect them — connected components under
+``dist <= radius_p + max_vel`` — because such agents may read each
+other's last-step writes and must advance together.
+
+The :class:`SpatialIndex` hashes positions into cells of the coupling
+threshold so both clustering and blocked-edge discovery touch only local
+candidates; for spaces without geometry (``GraphSpace``) it degrades to a
+linear scan transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from .._util import UnionFind
+from .space import Position, Space
+
+
+class SpatialIndex:
+    """Bucketed position index over a :class:`Space`."""
+
+    def __init__(self, space: Space, cell: float) -> None:
+        if cell <= 0:
+            raise ValueError("cell size must be positive")
+        self.space = space
+        self.cell = cell
+        self._buckets: dict[tuple, set[Hashable]] = {}
+        self._positions: dict[Hashable, Position] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._positions
+
+    def position(self, key: Hashable) -> Position:
+        return self._positions[key]
+
+    def insert(self, key: Hashable, pos: Position) -> None:
+        if key in self._positions:
+            self.remove(key)
+        self._positions[key] = pos
+        self._buckets.setdefault(self.space.bucket(pos, self.cell),
+                                 set()).add(key)
+
+    def remove(self, key: Hashable) -> None:
+        pos = self._positions.pop(key)
+        bucket = self.space.bucket(pos, self.cell)
+        members = self._buckets.get(bucket)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._buckets[bucket]
+
+    def move(self, key: Hashable, pos: Position) -> None:
+        self.insert(key, pos)
+
+    def query(self, pos: Position, radius: float) -> list[Hashable]:
+        """Keys within ``radius`` of ``pos`` (inclusive)."""
+        out = []
+        dist = self.space.dist
+        positions = self._positions
+        seen_linear = False
+        for bucket in self.space.bucket_range(pos, radius, self.cell):
+            if bucket == ():  # non-geometric space: one global bucket
+                if seen_linear:
+                    continue
+                seen_linear = True
+            members = self._buckets.get(bucket)
+            if not members:
+                continue
+            for key in members:
+                if dist(pos, positions[key]) <= radius:
+                    out.append(key)
+        return out
+
+
+def geo_clustering(agent_ids: Sequence[int],
+                   positions: Iterable[Position],
+                   space: Space,
+                   threshold: float) -> list[list[int]]:
+    """Connected components of the coupling relation among ``agent_ids``.
+
+    Returns clusters as sorted lists of agent ids; every agent appears in
+    exactly one cluster (singletons included).
+    """
+    ids = list(agent_ids)
+    pos = list(positions)
+    if len(ids) != len(pos):
+        raise ValueError("agent_ids and positions length mismatch")
+    if not ids:
+        return []
+    index = SpatialIndex(space, cell=max(threshold, 1e-9))
+    for i, p in enumerate(pos):
+        index.insert(i, p)
+    uf = UnionFind(len(ids))
+    for i, p in enumerate(pos):
+        for j in index.query(p, threshold):
+            if j > i:
+                uf.union(i, j)
+    clusters = []
+    for group in uf.groups(range(len(ids))):
+        clusters.append(sorted(ids[i] for i in group))
+    clusters.sort()
+    return clusters
+
+
+def brute_force_clustering(agent_ids: Sequence[int],
+                           positions: Sequence[Position],
+                           space: Space,
+                           threshold: float) -> list[list[int]]:
+    """O(n^2) reference implementation used to cross-check the indexed one."""
+    ids = list(agent_ids)
+    uf = UnionFind(len(ids))
+    for i in range(len(ids)):
+        for j in range(i + 1, len(ids)):
+            if space.dist(positions[i], positions[j]) <= threshold:
+                uf.union(i, j)
+    clusters = [sorted(ids[i] for i in group)
+                for group in uf.groups(range(len(ids)))]
+    clusters.sort()
+    return clusters

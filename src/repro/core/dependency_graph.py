@@ -1,0 +1,173 @@
+"""§3.3 spatiotemporal dependency graph.
+
+Each node is an agent with its current step and position. A *blocked*
+edge ``B -> A`` means A (about to run its step) must wait for B (at a
+strictly smaller step) to finish; *coupling* is evaluated by the
+clustering layer at dispatch time. Like the scoreboard in hardware
+out-of-order execution, the graph is maintained incrementally:
+
+* when a cluster commits, each member advances one step, moves, and has
+  its blocker set recomputed (its step gap to laggards grew);
+* every waiter registered on a member is re-examined against the member's
+  new state and released if the blocking condition no longer holds.
+
+Two properties of the rules make this sound (proved in the test suite):
+an agent's commit can never *create* a blocked edge toward an agent at a
+larger step (the threshold shrinks faster than the agent can move), and
+only agents at strictly smaller steps can block — so re-examining members
+and their waiters covers every edge that can change.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SchedulingError
+from .clustering import SpatialIndex
+from .rules import DependencyRules
+from .space import Position
+
+
+class SpatioTemporalGraph:
+    """Incrementally-maintained blocked-edge graph over all agents."""
+
+    def __init__(self, rules: DependencyRules,
+                 initial_positions: Mapping[int, Position],
+                 start_step: int = 0) -> None:
+        self.rules = rules
+        self.n_agents = len(initial_positions)
+        self.step: dict[int, int] = {}
+        self.pos: dict[int, Position] = {}
+        self.running: dict[int, bool] = {}
+        self.blocked_by: dict[int, set[int]] = {}
+        self.waiters: dict[int, set[int]] = {}
+        self.index = SpatialIndex(rules.space,
+                                  cell=max(rules.couple_threshold, 1.0))
+        #: agents per step value, for O(1) min-step maintenance.
+        self._step_counts: dict[int, int] = {}
+        self._min_step = start_step
+        self._max_step = start_step
+        # instrumentation
+        self.blocked_events = 0
+        self.unblock_events = 0
+        for aid, pos in initial_positions.items():
+            self.step[aid] = start_step
+            self.pos[aid] = pos
+            self.running[aid] = False
+            self.blocked_by[aid] = set()
+            self.waiters[aid] = set()
+            self.index.insert(aid, pos)
+        self._step_counts[start_step] = self.n_agents
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def min_step(self) -> int:
+        return self._min_step
+
+    @property
+    def max_step(self) -> int:
+        return self._max_step
+
+    def is_blocked(self, aid: int) -> bool:
+        return bool(self.blocked_by[aid])
+
+    def blockers_of(self, aid: int) -> frozenset[int]:
+        return frozenset(self.blocked_by[aid])
+
+    def state(self, aid: int) -> tuple[int, Position]:
+        return self.step[aid], self.pos[aid]
+
+    def snapshot(self) -> list[tuple[int, int, Position]]:
+        """``(aid, step, pos)`` for every agent (for validation)."""
+        return [(aid, self.step[aid], self.pos[aid])
+                for aid in sorted(self.step)]
+
+    def validate(self) -> None:
+        """Assert the §3.2 validity condition for the whole state."""
+        self.rules.validate_state(self.snapshot())
+
+    # -- edge maintenance --------------------------------------------------
+
+    def compute_blockers(self, aid: int) -> set[int]:
+        """Scan for agents currently blocking ``aid`` (spatially pruned)."""
+        s = self.step[aid]
+        if s <= self._min_step:
+            return set()
+        radius = self.rules.block_threshold(s - self._min_step)
+        blockers = set()
+        for bid in self.index.query(self.pos[aid], radius):
+            if bid == aid:
+                continue
+            if self.rules.blocked(self.pos[aid], s,
+                                  self.pos[bid], self.step[bid]):
+                blockers.add(bid)
+        return blockers
+
+    def refresh_blockers(self, aid: int) -> None:
+        """Recompute and re-register ``aid``'s blocked edges."""
+        for bid in self.blocked_by[aid]:
+            self.waiters[bid].discard(aid)
+        new = self.compute_blockers(aid)
+        self.blocked_by[aid] = new
+        for bid in new:
+            self.waiters[bid].add(aid)
+        if new:
+            self.blocked_events += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def mark_running(self, aids: Iterable[int]) -> None:
+        for aid in aids:
+            if self.blocked_by[aid]:
+                raise SchedulingError(
+                    f"agent {aid} dispatched while blocked by "
+                    f"{sorted(self.blocked_by[aid])}")
+            if self.running[aid]:
+                raise SchedulingError(f"agent {aid} already running")
+            self.running[aid] = True
+
+    def commit(self, aids: Iterable[int],
+               new_positions: Mapping[int, Position]) -> set[int]:
+        """Advance a finished cluster one step.
+
+        Returns agents whose blocker set became empty (newly unblocked
+        candidates the controller should try to re-cluster/dispatch),
+        plus the committed members themselves if they are unblocked.
+        """
+        members = list(aids)
+        candidates: set[int] = set()
+        for aid in members:
+            if not self.running[aid]:
+                raise SchedulingError(f"agent {aid} was not running")
+            self.running[aid] = False
+            old = self.step[aid]
+            self._step_counts[old] -= 1
+            if self._step_counts[old] == 0:
+                del self._step_counts[old]
+            self.step[aid] = old + 1
+            self._step_counts[old + 1] = \
+                self._step_counts.get(old + 1, 0) + 1
+            self.pos[aid] = new_positions[aid]
+            self.index.move(aid, self.pos[aid])
+            if old + 1 > self._max_step:
+                self._max_step = old + 1
+        if self._step_counts:
+            self._min_step = min(self._step_counts)
+        # Members may now be blocked at their new step.
+        for aid in members:
+            self.refresh_blockers(aid)
+            if not self.blocked_by[aid]:
+                candidates.add(aid)
+        # Waiters of members may be released (or still held).
+        for aid in members:
+            for waiter in list(self.waiters[aid]):
+                if not self.rules.blocked(
+                        self.pos[waiter], self.step[waiter],
+                        self.pos[aid], self.step[aid]):
+                    self.waiters[aid].discard(waiter)
+                    self.blocked_by[waiter].discard(aid)
+                    if not self.blocked_by[waiter]:
+                        candidates.add(waiter)
+                        self.unblock_events += 1
+        return candidates

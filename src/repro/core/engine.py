@@ -1,0 +1,116 @@
+"""One-call replay entry point.
+
+``run_replay(trace, scheduler, serving)`` wires together the virtual-time
+kernel, the simulated serving engine, the chain executor and the selected
+scheduling driver, runs to completion, and returns a
+:class:`SimulationResult` with the numbers the paper reports: completion
+time, achieved parallelism, and scheduler-side statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import SchedulerConfig, ServingConfig
+from ..devent import Kernel
+from ..errors import ConfigError, SchedulingError
+from ..instrument import TimelineRecorder
+from ..serving import EngineMetrics, PerfModel, ServingEngine, get_gpu, get_model
+from ..trace import Trace
+from .baselines import DriverStats, ParallelSyncDriver, SingleThreadDriver
+from .metropolis import MetropolisDriver
+from .oracle import NoDependencyDriver, OracleDriver, critical_path_time
+from .speculative import SpeculativeMetropolisDriver
+from .tasks import ChainExecutor
+
+_DRIVERS = {
+    "single-thread": SingleThreadDriver,
+    "parallel-sync": ParallelSyncDriver,
+    "metropolis": MetropolisDriver,
+    "metropolis-spec": SpeculativeMetropolisDriver,
+    "oracle": OracleDriver,
+    "no-dependency": NoDependencyDriver,
+}
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one replay run."""
+
+    policy: str
+    #: Virtual seconds from start to the last completed event.
+    completion_time: float
+    #: Time-average outstanding LLM requests (§4.2 metric).
+    achieved_parallelism: float
+    n_calls_completed: int
+    n_tasks_completed: int
+    driver_stats: DriverStats
+    engine_metrics: EngineMetrics
+    #: Mean replica busy fraction over the run (GPU utilization proxy).
+    gpu_busy_fraction: float
+    timeline: Optional[TimelineRecorder] = None
+    #: Step-barrier completion times (parallel-sync only; Fig. 1 lines).
+    step_completion_times: list[float] = field(default_factory=list)
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How much faster this run is than ``other`` (>1 = faster)."""
+        return other.completion_time / self.completion_time
+
+
+def run_replay(trace: Trace,
+               scheduler: SchedulerConfig | None = None,
+               serving: ServingConfig | None = None,
+               collect_timeline: bool = False) -> SimulationResult:
+    """Replay ``trace`` under one scheduling policy; return its result."""
+    scheduler = scheduler or SchedulerConfig()
+    serving = serving or ServingConfig()
+    if scheduler.policy not in _DRIVERS:
+        raise ConfigError(
+            f"unknown policy {scheduler.policy!r}; "
+            f"available: {sorted(_DRIVERS)}")
+    # §3.5: request priority at the serving engine follows the scheduler's
+    # priority switch (the Table 1 ablation flips both together).
+    serving_cfg = serving if serving.priority_scheduling == scheduler.priority \
+        else ServingConfig(**{**serving.__dict__,
+                              "priority_scheduling": scheduler.priority})
+    kernel = Kernel()
+    engine = ServingEngine(kernel, serving_cfg)
+    timeline = TimelineRecorder() if collect_timeline else None
+    executor = ChainExecutor(
+        kernel, engine, trace, scheduler.overhead,
+        call_observer=timeline.record if timeline else None)
+    driver = _DRIVERS[scheduler.policy](kernel, engine, trace, scheduler,
+                                        executor)
+    driver.start()
+    kernel.run()
+    if not driver.finished():
+        raise SchedulingError(
+            f"{scheduler.policy}: kernel drained before completion "
+            f"({driver.stats.tasks_completed} tasks done)")
+    if not engine.idle():
+        raise SchedulingError(
+            f"{scheduler.policy}: serving engine still busy at drain")
+    completion = kernel.now
+    return SimulationResult(
+        policy=scheduler.policy,
+        completion_time=completion,
+        achieved_parallelism=engine.metrics.achieved_parallelism(completion),
+        n_calls_completed=engine.metrics.completed,
+        n_tasks_completed=driver.stats.tasks_completed,
+        driver_stats=driver.stats,
+        engine_metrics=engine.metrics,
+        gpu_busy_fraction=engine.busy_fraction(completion),
+        timeline=timeline,
+        step_completion_times=getattr(driver, "step_completion_times", []),
+    )
+
+
+def critical_time_for(trace: Trace, serving: ServingConfig | None = None,
+                      scheduler: SchedulerConfig | None = None) -> float:
+    """Convenience wrapper computing the ``critical`` bound for a config."""
+    serving = serving or ServingConfig()
+    perf = PerfModel(model=get_model(serving.model), gpu=get_gpu(serving.gpu),
+                     tp=serving.tp,
+                     kv_memory_fraction=serving.kv_memory_fraction)
+    return critical_path_time(trace, perf, scheduler)

@@ -1,0 +1,247 @@
+"""Algorithm 3: the AI Metropolis out-of-order scheduling workflow.
+
+The driver plays both roles of the paper's architecture in virtual time:
+
+* the **controller** — forms clusters of coupled ready agents
+  (geo-clustering, §3.4), dispatches every cluster whose members are
+  unblocked (priority-ordered by step when a worker cap is set, §3.5),
+  and reacts to completion acks;
+* the **workers** — run each cluster's member chains concurrently against
+  the serving engine, then commit: advance the members one step, update
+  the dependency graph (§3.3), and hand newly unblocked agents back to
+  the controller.
+
+Dispatch work is incremental: after an ack only the committed members,
+their released waiters, and ready agents within coupling range of them
+("dirty" agents) are re-examined — the spirit of §3.6's light critical
+path, expressed algorithmically instead of in C++.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..config import SchedulerConfig
+from ..devent import Kernel
+from ..errors import SchedulingError
+from ..serving import ServingEngine
+from ..trace import Trace
+from .baselines import DriverStats
+from .dependency_graph import SpatioTemporalGraph
+from .rules import DependencyRules
+from .tasks import ChainExecutor
+
+
+class MetropolisDriver:
+    """Out-of-order replay of a trace under the §3.2 rules."""
+
+    def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
+                 config: SchedulerConfig, executor: ChainExecutor) -> None:
+        self.kernel = kernel
+        self.trace = trace
+        self.config = config
+        self.executor = executor
+        self.rules = DependencyRules(config.dependency)
+        self.stats = DriverStats()
+        self.n_steps = trace.meta.n_steps
+        n = trace.meta.n_agents
+        self.graph = SpatioTemporalGraph(
+            self.rules, {aid: trace.pos(aid, 0) for aid in range(n)})
+        #: Agents finished with their previous step and not yet dispatched.
+        self.ready: set[int] = set(range(n))
+        self.done: set[int] = set()
+        self._running_clusters = 0
+        #: Remaining-task counters per running cluster id.
+        self._cluster_remaining: dict[int, int] = {}
+        self._cluster_members: dict[int, list[int]] = {}
+        self._cluster_step: dict[int, int] = {}
+        self._cluster_seq = 0
+        #: Dispatchable clusters awaiting a worker slot (when capped).
+        self._pending: list[tuple[float, int, list[int], int]] = []
+        self._pending_seq = 0
+        self._busy_workers = 0
+        #: §6 hybrid deployment: latency-critical agents (see
+        #: SchedulerConfig.interactive_agents).
+        self._interactive = frozenset(config.interactive_agents)
+        self._last_commit_time: dict[int, float] = {
+            aid: 0.0 for aid in self._interactive}
+        #: Per-step latencies observed for interactive agents (seconds).
+        self.interactive_latencies: list[float] = []
+        self.stats.extra["interactive_latencies"] = self.interactive_latencies
+
+    # -- controller ------------------------------------------------------
+
+    def start(self) -> None:
+        self._controller_round(set(self.ready))
+
+    def _controller_round(self, dirty: set[int]) -> None:
+        """Re-cluster around ``dirty`` agents and dispatch what is ready."""
+        visited: set[int] = set()
+        clusters: list[tuple[int, list[int]]] = []
+        for aid in dirty:
+            if aid in visited or aid not in self.ready:
+                continue
+            cluster = self._collect_cluster(aid, visited)
+            if all(not self.graph.is_blocked(m) for m in cluster):
+                clusters.append((self.graph.step[aid], cluster))
+        # Step-priority dispatch order (§3.5); irrelevant when uncapped.
+        clusters.sort(key=lambda pair: pair[0] if self.config.priority else 0)
+        for step, cluster in clusters:
+            self._enqueue_cluster(step, cluster)
+        self._fill_workers()
+        self._check_progress()
+
+    def _clustering_exclude(self, aid: int) -> bool:
+        """Hook: agents the BFS must not absorb (speculation override)."""
+        return False
+
+    def _collect_cluster(self, seed_aid: int, visited: set[int]) -> list[int]:
+        """Connected coupling component of ready agents around ``seed_aid``."""
+        step = self.graph.step[seed_aid]
+        threshold = self.rules.couple_threshold
+        stack = [seed_aid]
+        members = []
+        visited.add(seed_aid)
+        while stack:
+            aid = stack.pop()
+            members.append(aid)
+            for other in self.graph.index.query(self.graph.pos[aid],
+                                                threshold):
+                if other == aid or other in visited:
+                    continue
+                if self.graph.step[other] != step:
+                    continue
+                if other in self.done or self._clustering_exclude(other):
+                    continue
+                if self.graph.running[other]:
+                    # The rules guarantee a running same-step agent can
+                    # never sit inside a newly-ready agent's coupling
+                    # radius; reaching this line means the invariant broke.
+                    raise SchedulingError(
+                        f"coupling invariant violated: agent {other} is "
+                        f"running at step {step} within coupling range of "
+                        f"ready agent {aid}")
+                visited.add(other)
+                stack.append(other)
+        return sorted(members)
+
+    def _cluster_priority(self, step: int, cluster: list[int]) -> float:
+        """Dispatch/serving priority for a cluster (lower = sooner).
+
+        Interactive clusters — and any cluster inside an interactive
+        agent's dependency cone, which could block it within the
+        configured horizon — preempt everything (§6 hybrid deployment);
+        otherwise step order under priority scheduling, arrival order
+        without.
+        """
+        if self._interactive and self.config.interactive_boost \
+                and self._in_interactive_cone(cluster):
+            return -1e9 + step
+        if self.config.priority:
+            return float(step)
+        return float(self._pending_seq)
+
+    def _in_interactive_cone(self, cluster: list[int]) -> bool:
+        if not self._interactive.isdisjoint(cluster):
+            return True
+        radius = self.rules.block_threshold(self.config.interactive_horizon)
+        dist = self.rules.space.dist
+        for iid in self._interactive:
+            pos = self.graph.pos[iid]
+            for m in cluster:
+                if dist(pos, self.graph.pos[m]) <= radius:
+                    return True
+        return False
+
+    def _enqueue_cluster(self, step: int, cluster: list[int]) -> None:
+        for m in cluster:
+            self.ready.discard(m)
+        self.graph.mark_running(cluster)
+        key = self._cluster_priority(step, cluster)
+        self._pending_seq += 1
+        heapq.heappush(self._pending,
+                       (key, self._pending_seq, cluster, step))
+
+    def _fill_workers(self) -> None:
+        cap = self.config.num_workers
+        while self._pending and (cap == 0 or self._busy_workers < cap):
+            _, _, cluster, step = heapq.heappop(self._pending)
+            self._busy_workers += 1
+            self._dispatch(step, cluster)
+
+    def _check_progress(self) -> None:
+        if (not self._running_clusters and not self._pending
+                and len(self.done) < self.graph.n_agents):
+            blocked = {aid: sorted(self.graph.blockers_of(aid))
+                       for aid in sorted(self.ready)}
+            raise SchedulingError(
+                f"scheduler stalled with {len(self.done)} of "
+                f"{self.graph.n_agents} agents done; ready/blocked: "
+                f"{blocked}")
+
+    # -- workers -----------------------------------------------------------
+
+    def _dispatch(self, step: int, cluster: list[int]) -> None:
+        self._running_clusters += 1
+        self.stats.clusters_dispatched += 1
+        self.stats.cluster_size_sum += len(cluster)
+        cid = self._cluster_seq = self._cluster_seq + 1
+        self._cluster_remaining[cid] = len(cluster)
+        self._cluster_members[cid] = cluster
+        self._cluster_step[cid] = step
+        request_priority = self._cluster_priority(step, cluster) \
+            if (self._interactive and self.config.interactive_boost) \
+            else float(step)
+        for aid in cluster:
+            self.kernel.call_in(
+                self.config.overhead.controller_dispatch,
+                self.executor.run_task, aid, step, request_priority,
+                lambda a, s, cid=cid: self._task_done(cid, a, s))
+
+    def _task_done(self, cid: int, aid: int, step: int) -> None:
+        self.stats.tasks_completed += 1
+        self._cluster_remaining[cid] -= 1
+        if self._cluster_remaining[cid] == 0:
+            self.kernel.call_in(self.config.overhead.cluster_commit,
+                                self._commit_cluster, cid)
+
+    def _commit_cluster(self, cid: int) -> None:
+        members = self._cluster_members.pop(cid)
+        step = self._cluster_step.pop(cid)
+        del self._cluster_remaining[cid]
+        self._running_clusters -= 1
+        self._busy_workers -= 1
+        new_positions = {aid: self.trace.pos(aid, step + 1)
+                         for aid in members}
+        candidates = self.graph.commit(members, new_positions)
+        spread = self.graph.max_step - self.graph.min_step
+        self.stats.max_step_spread = max(self.stats.max_step_spread, spread)
+        if self.config.validate_causality:
+            self.graph.validate()
+        dirty: set[int] = set()
+        for aid in members:
+            if aid in self._interactive:
+                now = self.kernel.now
+                self.interactive_latencies.append(
+                    now - self._last_commit_time[aid])
+                self._last_commit_time[aid] = now
+            if self.graph.step[aid] >= self.n_steps:
+                self.done.add(aid)
+            else:
+                self.ready.add(aid)
+                dirty.add(aid)
+        # Newly unblocked waiters plus ready agents near the movers.
+        for aid in candidates:
+            if aid in self.ready:
+                dirty.add(aid)
+        for aid in members:
+            for other in self.graph.index.query(
+                    self.graph.pos[aid], self.rules.couple_threshold):
+                if other in self.ready:
+                    dirty.add(other)
+        self.stats.blocked_events = self.graph.blocked_events
+        self.stats.unblock_events = self.graph.unblock_events
+        self._controller_round(dirty)
+
+    def finished(self) -> bool:
+        return len(self.done) == self.graph.n_agents

@@ -1,0 +1,232 @@
+"""§4.1 reference settings: ``oracle``, ``no-dependency`` and ``critical``.
+
+* **oracle** mines the *actual* dependencies from the full trace: agents
+  that appear in each other's observation space (within ``radius_p``) at
+  a step synchronize before and after that step; otherwise only each
+  agent's own step chain serializes. This is unattainable online (it
+  requires future knowledge) and upper-bounds what any dependency manager
+  can achieve.
+* **no-dependency** issues every LLM call at time zero — the pure
+  hardware-throughput bound used for the §4.3 scaling studies.
+* **critical** is the token-weighted longest path through the oracle
+  dependency DAG, executed at batch size 1 with no queueing — the §4.2
+  lower bound "regardless of available resources".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SchedulerConfig
+from ..devent import Kernel
+from ..errors import SchedulingError
+from ..serving import PerfModel, ServingEngine
+from ..trace import Trace
+from .baselines import DriverStats
+from .clustering import geo_clustering
+from .space import EuclideanSpace
+from .tasks import ChainExecutor
+
+
+def mine_interaction_groups(trace: Trace) -> list[list[list[int]]]:
+    """Per-step connected components of mutual observation.
+
+    Returns ``groups[step] = [sorted member lists]`` using start-of-step
+    positions and the trace's perception radius.
+    """
+    space = EuclideanSpace()
+    groups: list[list[list[int]]] = []
+    n = trace.meta.n_agents
+    ids = list(range(n))
+    for step in range(trace.meta.n_steps):
+        positions = [trace.pos(aid, step) for aid in ids]
+        groups.append(geo_clustering(ids, positions, space,
+                                     trace.meta.radius_p))
+    return groups
+
+
+def mean_dependency_count(trace: Trace) -> float:
+    """Average group size over agent-steps (the paper's 1.85 statistic)."""
+    groups = mine_interaction_groups(trace)
+    total = 0
+    count = 0
+    for per_step in groups:
+        for group in per_step:
+            total += len(group) * len(group)  # each member sees the group
+            count += len(group)
+    return total / max(count, 1)
+
+
+class OracleDriver:
+    """Replay under mined (exact) dependencies."""
+
+    def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
+                 config: SchedulerConfig, executor: ChainExecutor) -> None:
+        self.kernel = kernel
+        self.trace = trace
+        self.config = config
+        self.executor = executor
+        self.stats = DriverStats()
+        self.n_steps = trace.meta.n_steps
+        self.n_agents = trace.meta.n_agents
+        self.groups = mine_interaction_groups(trace)
+        #: group index of each agent per step.
+        self.group_of = []
+        for step, per_step in enumerate(self.groups):
+            lookup = np.empty(self.n_agents, dtype=np.int32)
+            for gidx, group in enumerate(per_step):
+                for aid in group:
+                    lookup[aid] = gidx
+            self.group_of.append(lookup)
+        #: next step each agent will execute.
+        self.next_step = np.zeros(self.n_agents, dtype=np.int64)
+        self._dispatched: set[tuple[int, int]] = set()
+        self._remaining: dict[tuple[int, int], int] = {}
+        self._tasks_left = self.n_agents * self.n_steps
+        #: Ready groups awaiting a worker slot (§3.1 worker pool).
+        self._pending: list[tuple[float, int, tuple[int, int]]] = []
+        self._pending_seq = 0
+        self._busy_workers = 0
+
+    def start(self) -> None:
+        for gidx in range(len(self.groups[0])):
+            self._try_dispatch(0, gidx)
+
+    def _try_dispatch(self, step: int, gidx: int) -> None:
+        key = (step, gidx)
+        if key in self._dispatched:
+            return
+        group = self.groups[step][gidx]
+        if any(self.next_step[aid] != step for aid in group):
+            return
+        self._dispatched.add(key)
+        self._pending_seq += 1
+        prio = float(step) if self.config.priority else float(self._pending_seq)
+        heapq.heappush(self._pending, (prio, self._pending_seq, key))
+        self._fill_workers()
+
+    def _fill_workers(self) -> None:
+        cap = self.config.num_workers
+        while self._pending and (cap == 0 or self._busy_workers < cap):
+            _, _, key = heapq.heappop(self._pending)
+            self._busy_workers += 1
+            self._dispatch(key)
+
+    def _dispatch(self, key: tuple[int, int]) -> None:
+        step, gidx = key
+        group = self.groups[step][gidx]
+        self._remaining[key] = len(group)
+        self.stats.clusters_dispatched += 1
+        self.stats.cluster_size_sum += len(group)
+        for aid in group:
+            self.kernel.call_in(
+                self.config.overhead.controller_dispatch,
+                self.executor.run_task, aid, step, float(step),
+                lambda a, s, key=key: self._task_done(key, a, s))
+
+    def _task_done(self, key: tuple[int, int], aid: int, step: int) -> None:
+        self.stats.tasks_completed += 1
+        self._remaining[key] -= 1
+        if self._remaining[key] == 0:
+            self.kernel.call_in(self.config.overhead.cluster_commit,
+                                self._commit_group, key)
+
+    def _commit_group(self, key: tuple[int, int]) -> None:
+        step, gidx = key
+        del self._remaining[key]
+        self._busy_workers -= 1
+        group = self.groups[step][gidx]
+        for aid in group:
+            if self.next_step[aid] != step:
+                raise SchedulingError("oracle committed out of order")
+            self.next_step[aid] = step + 1
+            self._tasks_left -= 1
+        if step + 1 < self.n_steps:
+            for aid in group:
+                self._try_dispatch(step + 1,
+                                   int(self.group_of[step + 1][aid]))
+        self._fill_workers()
+
+    def finished(self) -> bool:
+        return self._tasks_left == 0
+
+
+class NoDependencyDriver:
+    """Every call submitted at t=0 (hardware throughput bound)."""
+
+    def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
+                 config: SchedulerConfig, executor: ChainExecutor) -> None:
+        self.kernel = kernel
+        self.engine = engine
+        self.trace = trace
+        self.config = config
+        self.stats = DriverStats()
+        self._remaining = trace.n_calls
+
+    def start(self) -> None:
+        trace = self.trace
+        for i in range(trace.n_calls):
+            self.engine.generate(
+                prompt_tokens=int(trace.call_in[i]),
+                output_tokens=int(trace.call_out[i]),
+                priority=float(trace.call_step[i]),
+                on_complete=self._done,
+                context=(int(trace.call_agent[i]), int(trace.call_step[i]),
+                         int(trace.call_func[i])))
+        self.stats.clusters_dispatched = 1
+        self.stats.cluster_size_sum = trace.meta.n_agents
+
+    def _done(self, request) -> None:
+        self._remaining -= 1
+        self.stats.tasks_completed += 1
+
+    def finished(self) -> bool:
+        return self._remaining == 0
+
+
+def critical_path_time(trace: Trace, perf: PerfModel,
+                       config: SchedulerConfig | None = None,
+                       groups: Sequence[Sequence[Sequence[int]]] | None = None,
+                       ) -> float:
+    """Longest dependency path executed alone at batch size 1.
+
+    Dynamic program over the oracle DAG: an agent's step starts when it
+    and every member of its step interaction group finished the previous
+    step; it then runs its chain at ideal single-request latency.
+    """
+    config = config or SchedulerConfig()
+    if groups is None:
+        groups = mine_interaction_groups(trace)
+    n = trace.meta.n_agents
+    n_steps = trace.meta.n_steps
+
+    # Per-call ideal (batch-1) service time, vectorized: both prefill and
+    # decode-iteration latency are affine in their token arguments.
+    prompt = trace.call_in.astype(np.float64)
+    output = trace.call_out.astype(np.float64)
+    context = prompt + output / 2.0
+    prefill0 = perf.prefill_time(0)
+    prefill_slope = perf.prefill_time(1_000_000) / 1e6 - prefill0 / 1e6
+    iter0 = perf.decode_iteration_time(1, 0.0)
+    kv_slope = perf.kv_read_time_per_token()
+    service = (prefill0 + prefill_slope * prompt
+               + output * (iter0 + kv_slope * context))
+    rows = (trace.call_agent.astype(np.int64) * n_steps
+            + trace.call_step.astype(np.int64))
+    chain_time = np.bincount(rows, weights=service,
+                             minlength=n * n_steps).reshape(n, n_steps)
+    chain_time += config.overhead.agent_step
+
+    finish = np.zeros(n, dtype=np.float64)
+    for step in range(n_steps):
+        starts = finish  # same array: group sync rewrites entries in place
+        for group in groups[step]:
+            if len(group) > 1:
+                group_start = max(finish[aid] for aid in group)
+                for aid in group:
+                    starts[aid] = group_start
+        finish = starts + chain_time[:, step]
+    return float(finish.max())

@@ -1,0 +1,112 @@
+"""The §3.2 dependency rules and the validity condition they enforce.
+
+Temporal causality requires that an agent never perceives another agent
+that exists at a different simulation time. Formally (§3.2), a state is
+*valid* iff for all agents A, B at steps ``StepA != StepB``::
+
+    dist(A, B) > radius_p + (|StepA - StepB| - 1) * max_vel
+
+The Appendix A derivation turns this into two conservative scheduling
+rules, both implemented here:
+
+* **coupled** — same step and ``dist <= radius_p + max_vel``: the agents
+  must advance together (one cluster);
+* **blocked** — ``StepA > StepB`` and
+  ``dist <= (StepA - StepB + 1) * max_vel + radius_p``: A may not start
+  its step until B finishes StepB. (Agents at *later* steps never block:
+  the derivation's third case.)
+
+The rules over-approximate (they guard *potential* writes), which is what
+makes them checkable without a data-race detector — and what leaves the
+oracle gap measured in §4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..config import DependencyConfig
+from ..errors import CausalityViolation
+from .space import Position, Space, space_for
+
+
+class DependencyRules:
+    """Parameterized coupled/blocked predicates over a distance space."""
+
+    def __init__(self, config: DependencyConfig | None = None,
+                 space: Space | None = None) -> None:
+        self.config = config or DependencyConfig()
+        self.space = space or space_for(self.config.metric)
+        self.radius_p = self.config.radius_p
+        self.max_vel = self.config.max_vel
+
+    # -- thresholds -----------------------------------------------------
+
+    @property
+    def couple_threshold(self) -> float:
+        """Same-step coupling distance: ``radius_p + max_vel``."""
+        return self.radius_p + self.max_vel
+
+    def block_threshold(self, step_gap: int) -> float:
+        """Blocking distance for a leader ``step_gap`` steps ahead."""
+        return (step_gap + 1) * self.max_vel + self.radius_p
+
+    def validity_threshold(self, step_gap: int) -> float:
+        """The §3.2 condition's distance bound for ``|ΔStep| = step_gap``."""
+        return self.radius_p + (step_gap - 1) * self.max_vel
+
+    # -- predicates -------------------------------------------------------
+
+    def coupled(self, pos_a: Position, pos_b: Position) -> bool:
+        """Must two same-step agents advance together?"""
+        return self.space.dist(pos_a, pos_b) <= self.couple_threshold
+
+    def blocked(self, pos_a: Position, step_a: int,
+                pos_b: Position, step_b: int) -> bool:
+        """Is A (about to run ``step_a``) blocked by B (still at ``step_b``)?
+
+        Only agents at strictly smaller steps can block; the same-step
+        case is coupling, and future agents never block (Appendix A).
+        """
+        if step_b >= step_a:
+            return False
+        gap = step_a - step_b
+        return self.space.dist(pos_a, pos_b) <= self.block_threshold(gap)
+
+    def max_runahead(self, distance: float) -> int:
+        """Largest step lead at which ``distance`` does not block.
+
+        Inverse of :meth:`block_threshold`: the scheduler may let an agent
+        lead another by at most this many steps at the given separation.
+        """
+        if distance <= self.couple_threshold:
+            return 0
+        # Largest integer gap with distance > (gap + 1) * max_vel + radius_p
+        # (note the strict inequality: at equality the laggard still blocks).
+        q = (distance - self.radius_p) / self.max_vel - 1.0
+        gap = math.floor(q)
+        if gap == q:
+            gap -= 1
+        return max(int(gap), 0)
+
+    # -- runtime validation ------------------------------------------------
+
+    def validate_state(self, states: Iterable[tuple[int, int, Position]]
+                       ) -> None:
+        """Assert the §3.2 validity condition over a full state snapshot.
+
+        ``states`` yields ``(agent_id, step, position)``. O(n^2) — used by
+        tests and the ``validate_causality`` debug mode, not production.
+        """
+        snapshot = list(states)
+        for i, (aid_a, step_a, pos_a) in enumerate(snapshot):
+            for aid_b, step_b, pos_b in snapshot[i + 1:]:
+                if step_a == step_b:
+                    continue
+                gap = abs(step_a - step_b)
+                distance = self.space.dist(pos_a, pos_b)
+                threshold = self.validity_threshold(gap)
+                if distance <= threshold:
+                    raise CausalityViolation(
+                        aid_a, step_a, aid_b, step_b, distance, threshold)

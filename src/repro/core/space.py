@@ -1,0 +1,130 @@
+"""Distance spaces for the dependency rules.
+
+The paper derives its rules for Euclidean distance but notes (§6) that
+they extend to any space with a notion of distance bounding information
+propagation — e.g. hop distance in a social network. Everything in
+:mod:`repro.core` works against this small protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Hashable, Iterable, Protocol
+
+from ..errors import ConfigError
+
+Position = Hashable
+
+
+class Space(Protocol):
+    """A metric over agent positions."""
+
+    def dist(self, a: Position, b: Position) -> float:
+        """Distance between two positions."""
+        ...
+
+    def bucket(self, pos: Position, cell: float) -> tuple:
+        """A coarse hash cell for ``pos`` used by the spatial index, such
+        that positions within distance ``d`` are within
+        ``ceil(d / cell)`` cells of each other in every axis. Spaces that
+        cannot offer this return ``()`` (forcing linear scans)."""
+        ...
+
+    def bucket_range(self, pos: Position, radius: float,
+                     cell: float) -> Iterable[tuple]:
+        """All cells that may contain positions within ``radius``."""
+        ...
+
+
+class _Grid2D:
+    """Shared bucketing for 2D coordinate spaces."""
+
+    @staticmethod
+    def bucket(pos, cell: float) -> tuple:
+        return (int(pos[0] // cell), int(pos[1] // cell))
+
+    @staticmethod
+    def bucket_range(pos, radius: float, cell: float):
+        span = int(math.ceil(radius / cell))
+        cx, cy = int(pos[0] // cell), int(pos[1] // cell)
+        for dx in range(-span, span + 1):
+            for dy in range(-span, span + 1):
+                yield (cx + dx, cy + dy)
+
+
+class EuclideanSpace(_Grid2D):
+    """L2 distance on 2D coordinates (the paper's default)."""
+
+    def dist(self, a, b) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class ChebyshevSpace(_Grid2D):
+    """L-infinity distance (square perception windows on grids)."""
+
+    def dist(self, a, b) -> float:
+        return float(max(abs(a[0] - b[0]), abs(a[1] - b[1])))
+
+
+class ManhattanSpace(_Grid2D):
+    """L1 distance (4-connected grid movement)."""
+
+    def dist(self, a, b) -> float:
+        return float(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+
+
+class GraphSpace:
+    """Hop distance on an arbitrary graph (the §6 social-network case).
+
+    Positions are node ids. Distances are BFS hop counts, cached per
+    source. No spatial bucketing is possible in general, so the index
+    falls back to linear scans — fine for the social-simulation scales
+    this extension targets.
+    """
+
+    def __init__(self, adjacency: dict[Hashable, Iterable[Hashable]]) -> None:
+        self._adj = {node: list(neigh) for node, neigh in adjacency.items()}
+        self._cache: dict[Hashable, dict[Hashable, int]] = {}
+
+    def _distances_from(self, source: Hashable) -> dict[Hashable, int]:
+        cached = self._cache.get(source)
+        if cached is not None:
+            return cached
+        if source not in self._adj:
+            raise ConfigError(f"unknown node {source!r}")
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neigh in self._adj[node]:
+                if neigh not in dist:
+                    dist[neigh] = dist[node] + 1
+                    queue.append(neigh)
+        self._cache[source] = dist
+        return dist
+
+    def dist(self, a, b) -> float:
+        return float(self._distances_from(a).get(b, math.inf))
+
+    def bucket(self, pos, cell: float) -> tuple:
+        return ()
+
+    def bucket_range(self, pos, radius: float, cell: float):
+        yield ()
+
+
+def space_for(metric: str, **kwargs) -> Space:
+    """Factory keyed by :attr:`DependencyConfig.metric`."""
+    if metric == "euclidean":
+        return EuclideanSpace()
+    if metric == "chebyshev":
+        return ChebyshevSpace()
+    if metric == "manhattan":
+        return ManhattanSpace()
+    if metric == "graph":
+        adjacency = kwargs.get("adjacency")
+        if adjacency is None:
+            raise ConfigError("graph metric requires adjacency=...")
+        return GraphSpace(adjacency)
+    raise ConfigError(f"unknown metric {metric!r}")

@@ -1,0 +1,225 @@
+"""Speculative out-of-order execution (§6 future work, implemented).
+
+The conservative §3.2 rules leave a gap to the oracle: a blocked cluster
+usually turns out not to interact with its laggard blockers at all. The
+paper's discussion names the remedy — "introducing speculative execution
+with race detection could potentially bridge this gap" — and this driver
+implements it for replay mode:
+
+* a *blocked* cluster may execute its LLM chains speculatively, at
+  background priority so it never steals from the critical path;
+* commits stay **in order**: the cluster retires only once its blockers
+  clear, so the dependency graph's conservative invariants — and every
+  other agent's scheduling — are untouched;
+* a **race detector** decides at retire time whether the speculation was
+  safe. In replay the detector is an oracle lookahead over the trace
+  (would any blocker's true trajectory have entered a member's perception
+  radius before catching up?); a live deployment would track read/write
+  sets instead — exactly the scalability cost §6 warns about.
+  Misspeculation re-executes the chains at full cost before retiring;
+* speculation can also be **squashed**: dispatching a cluster requires it
+  to be closed under coupling, and a laggard that commits *into* coupling
+  range of a speculating cluster joins its synchrony group — the members
+  return to ready and execute jointly through the normal path (their
+  speculative work is wasted, like a squashed pipeline).
+
+The win is latency hiding: chain execution overlaps with blocked waiting,
+shrinking waiting on the critical path while preserving outcomes
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from .metropolis import MetropolisDriver
+
+
+class SpeculativeMetropolisDriver(MetropolisDriver):
+    """Metropolis + speculative execution of blocked clusters."""
+
+    #: Offset pushing speculative requests behind every regular step
+    #: priority (served only when the engine has slack).
+    _SPEC_PRIORITY_OFFSET = 1e6
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: cluster id -> speculation record.
+        self._spec: dict[int, dict] = {}
+        self._spec_members: dict[int, int] = {}  # aid -> cluster id
+        self.stats.extra["speculations"] = 0
+        self.stats.extra["misspeculations"] = 0
+        self.stats.extra["squashes"] = 0
+        self.stats.extra["spec_retires"] = 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _controller_round(self, dirty) -> None:
+        # Squash speculations that newly-ready agents are coupled to: the
+        # joint cluster must execute together through the normal path.
+        dirty = set(dirty)
+        for aid in list(dirty):
+            if aid in self.ready:
+                dirty |= self._squash_coupled_to(aid)
+        if self.config.speculation_budget:
+            self._launch_speculations(dirty)
+        super()._controller_round(dirty)
+
+    def _squash_coupled_to(self, aid: int) -> set[int]:
+        """Squash any speculation coupled (transitively) to ready ``aid``."""
+        freed: set[int] = set()
+        step = self.graph.step[aid]
+        frontier = [aid]
+        seen = {aid}
+        while frontier:
+            x = frontier.pop()
+            for other in self.graph.index.query(
+                    self.graph.pos[x], self.rules.couple_threshold):
+                if other in seen or self.graph.step[other] != step:
+                    continue
+                seen.add(other)
+                cid = self._spec_members.get(other)
+                if cid is not None:
+                    freed |= self._request_squash(cid)
+                    frontier.append(other)
+                elif other in self.ready:
+                    frontier.append(other)
+        return freed
+
+    def _request_squash(self, cid: int) -> set[int]:
+        """Squash ``cid`` immediately; returns the freed members.
+
+        In-flight chains are abandoned: their requests keep burning GPU
+        (as a real squash does) but their completions become stale
+        no-ops, and the members re-execute through the normal path.
+        """
+        spec = self._spec.pop(cid)
+        members = set(spec["members"])
+        for m in members:
+            del self._spec_members[m]
+            self.ready.add(m)
+        self.stats.extra["squashes"] += 1
+        return members
+
+    def _clustering_exclude(self, aid: int) -> bool:
+        return aid in self._spec_members
+
+    def _launch_speculations(self, dirty: set[int]) -> None:
+        budget = self.config.speculation_budget
+        visited: set[int] = set()
+        for aid in sorted(dirty):
+            if len(self._spec) >= budget:
+                return
+            if (aid not in self.ready or aid in visited
+                    or aid in self._spec_members):
+                continue
+            cluster = self._collect_cluster(aid, visited)
+            if any(m in self._spec_members for m in cluster):
+                continue
+            if not any(self.graph.is_blocked(m) for m in cluster):
+                continue  # dispatchable normally; leave to the base round
+            self._start_speculation(cluster)
+
+    def _start_speculation(self, cluster: list[int]) -> None:
+        step = self.graph.step[cluster[0]]
+        cid = self._cluster_seq = self._cluster_seq + 1
+        self._spec[cid] = {
+            "members": cluster,
+            "step": step,
+            "chains_left": len(cluster),
+            "will_fail": self._lookahead_detects_race(cluster, step),
+        }
+        for m in cluster:
+            self._spec_members[m] = cid
+            self.ready.discard(m)
+        self.stats.extra["speculations"] += 1
+        priority = self._SPEC_PRIORITY_OFFSET + step
+        for aid in cluster:
+            self.kernel.call_in(
+                self.config.overhead.controller_dispatch,
+                self.executor.run_task, aid, step, priority,
+                lambda a, s, cid=cid: self._spec_chain_done(cid, a, s))
+
+    # ------------------------------------------------------------------
+    # race detection (replay-mode oracle lookahead)
+    # ------------------------------------------------------------------
+
+    def _lookahead_detects_race(self, cluster: list[int], step: int) -> bool:
+        radius = self.trace.meta.radius_p
+        horizon = min(step + 1, self.trace.meta.n_steps)
+        for m in cluster:
+            pos_m = self.trace.pos(m, step)
+            for b in self.graph.blockers_of(m):
+                for s in range(self.graph.step[b], horizon):
+                    bx, by = self.trace.pos(b, s)
+                    dx, dy = bx - pos_m[0], by - pos_m[1]
+                    if (dx * dx + dy * dy) <= radius * radius:
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # retirement
+    # ------------------------------------------------------------------
+
+    def _spec_chain_done(self, cid: int, aid: int, step: int) -> None:
+        spec = self._spec.get(cid)
+        if spec is None:
+            return  # squashed — stale callback of an abandoned chain
+        spec["chains_left"] -= 1
+        if spec["chains_left"] == 0:
+            self._try_retire(cid)
+
+    def _try_retire(self, cid: int) -> None:
+        spec = self._spec.get(cid)
+        if spec is None or spec["chains_left"] > 0:
+            return
+        members = spec["members"]
+        if any(self.graph.compute_blockers(m) for m in members):
+            return  # still waiting for laggards
+        if spec["will_fail"]:
+            # Misspeculation: re-execute the chains at full cost.
+            self.stats.extra["misspeculations"] += 1
+            spec["will_fail"] = False
+            spec["chains_left"] = len(members)
+            priority = float(spec["step"])
+            for aid in members:
+                self.kernel.call_in(
+                    self.config.overhead.controller_dispatch,
+                    self.executor.run_task, aid, spec["step"], priority,
+                    lambda a, s, cid=cid: self._spec_chain_done(cid, a, s))
+            return
+        # Retire in order: hand the cluster to the normal commit path.
+        self._spec.pop(cid)
+        for m in members:
+            del self._spec_members[m]
+        self.stats.extra["spec_retires"] += 1
+        self.stats.tasks_completed += len(members)
+        self.graph.mark_running(members)
+        self.stats.clusters_dispatched += 1
+        self.stats.cluster_size_sum += len(members)
+        new_cid = self._cluster_seq = self._cluster_seq + 1
+        self._running_clusters += 1
+        self._busy_workers += 1
+        self._cluster_remaining[new_cid] = 0
+        self._cluster_members[new_cid] = members
+        self._cluster_step[new_cid] = spec["step"]
+        self.kernel.call_in(self.config.overhead.cluster_commit,
+                            self._commit_cluster, new_cid)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _commit_cluster(self, cid: int) -> None:
+        super()._commit_cluster(cid)
+        # Any commit can clear a speculation's last blocker.
+        for spec_cid in list(self._spec):
+            self._try_retire(spec_cid)
+
+    def _check_progress(self) -> None:
+        if self._spec:
+            return  # speculative work in flight still makes progress
+        super()._check_progress()
+
+    def finished(self) -> bool:
+        return super().finished() and not self._spec

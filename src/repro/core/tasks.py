@@ -1,0 +1,70 @@
+"""Agent-step task execution.
+
+A *task* is one agent's work for one simulation step: a fixed per-step
+overhead (perceive / move / world bookkeeping — the non-LLM ~5% the paper
+measures) followed by the agent's LLM call chain, executed sequentially
+because each call's prompt depends on the previous call's response
+(Algorithm 2: perceive -> retrieve -> plan).
+
+All scheduler drivers share this executor; they differ only in *when*
+they start tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import OverheadConfig
+from ..devent import Kernel
+from ..serving import LLMRequest, ServingEngine
+from ..trace import Trace
+
+#: Completion callback signature: (agent_id, step).
+TaskDone = Callable[[int, int], None]
+#: Per-call observer: (agent_id, step, func_id, submit_t, finish_t).
+CallObserver = Callable[[int, int, int, float, float], None]
+
+
+class ChainExecutor:
+    """Runs agent-step call chains against the serving engine."""
+
+    def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
+                 overhead: OverheadConfig,
+                 call_observer: Optional[CallObserver] = None) -> None:
+        self.kernel = kernel
+        self.engine = engine
+        self.trace = trace
+        self.overhead = overhead
+        self.call_observer = call_observer
+        #: Total LLM calls issued (for completeness accounting).
+        self.calls_issued = 0
+
+    def run_task(self, aid: int, step: int, priority: float,
+                 on_done: TaskDone) -> None:
+        """Start the (aid, step) task; ``on_done`` fires at completion."""
+        chain = self.trace.chain(aid, step)
+        self.kernel.call_in(self.overhead.agent_step,
+                            self._issue_next, aid, step, chain, 0,
+                            priority, on_done)
+
+    def _issue_next(self, aid: int, step: int, chain, idx: int,
+                    priority: float, on_done: TaskDone) -> None:
+        if idx >= len(chain):
+            on_done(aid, step)
+            return
+        func_id, prompt_tokens, output_tokens = chain[idx]
+        self.calls_issued += 1
+        submit_time = self.kernel.now
+
+        def _completed(request: LLMRequest) -> None:
+            if self.call_observer is not None:
+                self.call_observer(aid, step, func_id, submit_time,
+                                   self.kernel.now)
+            self._issue_next(aid, step, chain, idx + 1, priority, on_done)
+
+        self.engine.generate(
+            prompt_tokens=int(prompt_tokens),
+            output_tokens=int(output_tokens),
+            priority=priority,
+            on_complete=_completed,
+            context=(aid, step, func_id))

@@ -1,0 +1,13 @@
+"""Execution instrumentation: per-agent timelines (Figure 1) and derived
+parallelism series."""
+
+from .timeline import TimelineRecorder, TimelineEvent, render_ascii_timeline
+from .parallelism import concurrency_series, concurrency_at
+
+__all__ = [
+    "TimelineRecorder",
+    "TimelineEvent",
+    "render_ascii_timeline",
+    "concurrency_series",
+    "concurrency_at",
+]

@@ -1,0 +1,32 @@
+"""Outstanding-request concurrency over time.
+
+The paper's achieved-parallelism metric is the time-average of this
+series (see :meth:`repro.serving.EngineMetrics.achieved_parallelism`);
+these helpers expose the full series for plots and breakdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..serving.metrics import RequestRecord
+
+
+def concurrency_series(records: list[RequestRecord],
+                       resolution: int = 512) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled (times, outstanding-count) series over the run."""
+    if not records:
+        return np.zeros(0), np.zeros(0)
+    starts = np.array([r.submit_time for r in records])
+    ends = np.array([r.finish_time for r in records])
+    lo, hi = starts.min(), ends.max()
+    times = np.linspace(lo, hi, resolution)
+    counts = ((starts[None, :] <= times[:, None])
+              & (ends[None, :] > times[:, None])).sum(axis=1)
+    return times, counts.astype(np.int64)
+
+
+def concurrency_at(records: list[RequestRecord], t: float) -> int:
+    """Outstanding requests at virtual time ``t``."""
+    return sum(1 for r in records
+               if r.submit_time <= t < r.finish_time)

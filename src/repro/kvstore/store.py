@@ -1,0 +1,328 @@
+"""Thread-safe KV store with optimistic transactions.
+
+Semantics follow Redis closely enough for the engine's needs:
+
+* every key holds one typed value (string/any, hash, set, zset);
+* every write bumps the key's version counter;
+* a :class:`Transaction` records versions of the keys it reads (WATCH),
+  buffers writes (MULTI), and at EXEC atomically verifies that no watched
+  key changed before applying the buffer — otherwise it retries the whole
+  body, like a standard ``redis-py`` ``transaction(fn, *keys)`` helper.
+
+Like Redis (which is single-threaded), atomicity is provided by a single
+lock around command execution; the optimistic-retry machinery exists so
+that read-compute-write cycles spanning multiple commands stay consistent
+without holding the lock during compute.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from ..errors import TransactionError, WatchError
+
+_MISSING = object()
+
+
+class KVStore:
+    """A typed, versioned, thread-safe key-value store."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self._versions: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # -- internal helpers (callers hold the lock) ----------------------
+
+    def _bump(self, key: str) -> None:
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def _get_typed(self, key: str, factory: Callable[[], Any]) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            value = factory()
+            self._data[key] = value
+        expected = type(factory())
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"key {key!r} holds {type(value).__name__}, "
+                f"expected {expected.__name__}")
+        return value
+
+    # -- plain values ---------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._bump(key)
+
+    def setnx(self, key: str, value: Any) -> bool:
+        """Set only if the key does not exist. Returns True if set."""
+        with self._lock:
+            if key in self._data:
+                return False
+            self._data[key] = value
+            self._bump(key)
+            return True
+
+    def delete(self, *keys: str) -> int:
+        with self._lock:
+            removed = 0
+            for key in keys:
+                if key in self._data:
+                    del self._data[key]
+                    self._bump(key)
+                    removed += 1
+            return removed
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        with self._lock:
+            value = self._data.get(key, 0)
+            if not isinstance(value, int):
+                raise TypeError(f"key {key!r} is not an integer")
+            value += amount
+            self._data[key] = value
+            self._bump(key)
+            return value
+
+    def keys(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return [k for k in self._data if k.startswith(prefix)]
+
+    def version(self, key: str) -> int:
+        """Monotonic write counter for ``key`` (0 if never written)."""
+        with self._lock:
+            return self._versions.get(key, 0)
+
+    # -- hashes -----------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        with self._lock:
+            self._get_typed(key, dict)[field] = value
+            self._bump(key)
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                return default
+            return value.get(field, default)
+
+    def hdel(self, key: str, *fields: str) -> int:
+        with self._lock:
+            value = self._data.get(key)
+            if not isinstance(value, dict):
+                return 0
+            removed = 0
+            for f in fields:
+                if f in value:
+                    del value[f]
+                    removed += 1
+            if removed:
+                self._bump(key)
+            return removed
+
+    def hgetall(self, key: str) -> dict:
+        with self._lock:
+            value = self._data.get(key)
+            return dict(value) if isinstance(value, dict) else {}
+
+    def hlen(self, key: str) -> int:
+        with self._lock:
+            value = self._data.get(key)
+            return len(value) if isinstance(value, dict) else 0
+
+    # -- sets ---------------------------------------------------------------
+
+    def sadd(self, key: str, *members: Any) -> int:
+        with self._lock:
+            s = self._get_typed(key, set)
+            before = len(s)
+            s.update(members)
+            added = len(s) - before
+            if added:
+                self._bump(key)
+            return added
+
+    def srem(self, key: str, *members: Any) -> int:
+        with self._lock:
+            s = self._data.get(key)
+            if not isinstance(s, set):
+                return 0
+            removed = 0
+            for m in members:
+                if m in s:
+                    s.discard(m)
+                    removed += 1
+            if removed:
+                self._bump(key)
+            return removed
+
+    def smembers(self, key: str) -> set:
+        with self._lock:
+            s = self._data.get(key)
+            return set(s) if isinstance(s, set) else set()
+
+    def scard(self, key: str) -> int:
+        with self._lock:
+            s = self._data.get(key)
+            return len(s) if isinstance(s, set) else 0
+
+    def sismember(self, key: str, member: Any) -> bool:
+        with self._lock:
+            s = self._data.get(key)
+            return isinstance(s, set) and member in s
+
+    # -- sorted sets -----------------------------------------------------
+
+    def zadd(self, key: str, member: Any, score: float) -> None:
+        with self._lock:
+            z = self._get_typed(key, dict)
+            z[member] = score
+            self._bump(key)
+
+    def zscore(self, key: str, member: Any) -> Optional[float]:
+        with self._lock:
+            z = self._data.get(key)
+            if not isinstance(z, dict):
+                return None
+            return z.get(member)
+
+    def zrange(self, key: str, start: int = 0, stop: int = -1) -> list:
+        """Members ordered by (score, member) — like Redis ZRANGE."""
+        with self._lock:
+            z = self._data.get(key)
+            if not isinstance(z, dict):
+                return []
+            ordered = sorted(z, key=lambda m: (z[m], repr(m)))
+            if stop == -1:
+                return ordered[start:]
+            return ordered[start:stop + 1]
+
+    def zpopmin(self, key: str) -> Optional[tuple[Any, float]]:
+        with self._lock:
+            z = self._data.get(key)
+            if not isinstance(z, dict) or not z:
+                return None
+            member = min(z, key=lambda m: (z[m], repr(m)))
+            score = z.pop(member)
+            self._bump(key)
+            return member, score
+
+    # -- transactions -------------------------------------------------------
+
+    def transaction(self, fn: Callable[["Transaction"], Any],
+                    max_retries: int = 64) -> Any:
+        """Run ``fn(txn)`` optimistically until it commits.
+
+        ``fn`` reads through the transaction handle (auto-WATCHing each key
+        it touches) and queues writes; after ``fn`` returns, the buffered
+        writes are applied atomically iff no watched key changed since it
+        was read. On conflict the body is re-run from scratch.
+        """
+        for _ in range(max_retries):
+            txn = Transaction(self)
+            result = fn(txn)
+            try:
+                txn.commit()
+            except WatchError:
+                continue
+            return result
+        raise TransactionError(
+            f"transaction aborted after {max_retries} retries")
+
+    def pipeline(self) -> "Transaction":
+        """A bare transaction handle (manual ``commit()``)."""
+        return Transaction(self)
+
+
+class Transaction:
+    """Optimistic read-buffer-commit handle. See :meth:`KVStore.transaction`."""
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        self._watched: dict[str, int] = {}
+        self._writes: list[tuple[Callable, tuple]] = []
+        self.committed = False
+
+    # -- reads (auto-watch) ----------------------------------------------
+
+    def _watch(self, key: str) -> None:
+        if key not in self._watched:
+            self._watched[key] = self._store.version(key)
+
+    def watch(self, *keys: str) -> None:
+        with self._store._lock:
+            for key in keys:
+                self._watch(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._store._lock:
+            self._watch(key)
+            return self._store.get(key, default)
+
+    def hgetall(self, key: str) -> dict:
+        with self._store._lock:
+            self._watch(key)
+            return self._store.hgetall(key)
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        with self._store._lock:
+            self._watch(key)
+            return self._store.hget(key, field, default)
+
+    def smembers(self, key: str) -> set:
+        with self._store._lock:
+            self._watch(key)
+            return self._store.smembers(key)
+
+    # -- buffered writes -------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        self._writes.append((self._store.set, (key, value)))
+
+    def delete(self, *keys: str) -> None:
+        self._writes.append((self._store.delete, keys))
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self._writes.append((self._store.hset, (key, field, value)))
+
+    def hdel(self, key: str, *fields: str) -> None:
+        self._writes.append((self._store.hdel, (key, *fields)))
+
+    def sadd(self, key: str, *members: Any) -> None:
+        self._writes.append((self._store.sadd, (key, *members)))
+
+    def srem(self, key: str, *members: Any) -> None:
+        self._writes.append((self._store.srem, (key, *members)))
+
+    def zadd(self, key: str, member: Any, score: float) -> None:
+        self._writes.append((self._store.zadd, (key, member, score)))
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._writes.append((self._store.incr, (key, amount)))
+
+    # -- commit --------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply buffered writes iff no watched key changed (else WatchError)."""
+        if self.committed:
+            raise TransactionError("transaction already committed")
+        store = self._store
+        with store._lock:
+            for key, version in self._watched.items():
+                if store.version(key) != version:
+                    raise WatchError(f"watched key {key!r} changed")
+            for op, args in self._writes:
+                op(*args)
+            self.committed = True

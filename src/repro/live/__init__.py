@@ -1,0 +1,25 @@
+"""Live (wall-clock, multi-threaded) execution engine.
+
+The replay engine in :mod:`repro.core` measures schedulers in virtual
+time; this package is the *deployable* counterpart: a real implementation
+of Algorithm 3 with a controller, a pool of worker threads, priority
+ready/ack queues, agent state kept in the transactional KV store (the
+paper keeps it in Redis), and LLM calls issued to a pluggable
+:class:`LLMClient`. Use it to drive an actual simulation — the gym-like
+:class:`Environment` wraps a user world program the way the paper's
+interfaces wrap ``agent.proceed`` / ``world.step``.
+"""
+
+from .clients import EchoLLMClient, LLMClient, ThrottledLLMClient
+from .engine import LiveResult, LiveSimulation
+from .environment import Environment, WorldProgram
+
+__all__ = [
+    "LLMClient",
+    "EchoLLMClient",
+    "ThrottledLLMClient",
+    "LiveSimulation",
+    "LiveResult",
+    "Environment",
+    "WorldProgram",
+]

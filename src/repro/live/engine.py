@@ -1,0 +1,239 @@
+"""The live, multi-threaded Algorithm 3.
+
+Faithful to the paper's architecture at thread granularity:
+
+* the **controller** (caller's thread) owns the spatiotemporal dependency
+  graph, geo-clusters ready agents, and feeds dispatchable clusters into
+  a priority ``ready_queue`` (ordered by step, §3.5);
+* **workers** (a thread pool) pull clusters, run the world program's
+  ``execute`` for the members — which issues blocking LLM calls — then
+  commit the members' new state to the KV store in one optimistic
+  transaction (§3.6 keeps this state in Redis) and acknowledge through
+  the ``ack_queue``;
+* on each ack the controller advances the graph and dispatches whatever
+  became ready, exactly like the virtual-time driver.
+
+``policy="parallel-sync"`` degrades the controller to one global cluster
+per step (Algorithm 1), which is both a baseline and the reference for
+the OOO-equivalence tests: a correct OOO run must produce the identical
+world state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..config import SchedulerConfig
+from ..core.dependency_graph import SpatioTemporalGraph
+from ..core.rules import DependencyRules
+from ..errors import SchedulingError
+from ..kvstore import KVStore
+from .clients import LLMClient
+from .environment import WorldProgram
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class LiveResult:
+    """Outcome of a live run."""
+
+    target_step: int
+    wall_time: float
+    clusters_executed: int
+    cluster_size_sum: int
+    max_step_spread: int
+    #: Final per-agent positions, as stored in the KV store.
+    final_positions: dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def mean_cluster_size(self) -> float:
+        if not self.clusters_executed:
+            return 0.0
+        return self.cluster_size_sum / self.clusters_executed
+
+
+class LiveSimulation:
+    """One live run of a world program under OOO (or lock-step) control."""
+
+    def __init__(self, program: WorldProgram, client: LLMClient,
+                 scheduler: SchedulerConfig | None = None,
+                 num_workers: int = 4,
+                 store: KVStore | None = None) -> None:
+        self.program = program
+        self.client = client
+        self.scheduler = scheduler or SchedulerConfig()
+        self.num_workers = max(num_workers, 1)
+        self.store = store or KVStore()
+        self.rules = DependencyRules(self.scheduler.dependency)
+        self._ready_queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._ack_queue: queue.Queue = queue.Queue()
+        self._seq = 0
+        self._stats = LiveResult(target_step=0, wall_time=0.0,
+                                 clusters_executed=0, cluster_size_sum=0,
+                                 max_step_spread=0)
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._ready_queue.get()
+            if item[2] is _SHUTDOWN:
+                return
+            _, _, cluster, step = item
+            try:
+                self.program.execute(step, cluster, self.client)
+                self._commit_to_store(step, cluster)
+                self._ack_queue.put(("ok", step, cluster))
+            except BaseException as exc:  # surface worker crashes
+                self._ack_queue.put(("error", step, exc))
+                return
+
+    def _commit_to_store(self, step: int, cluster: list[int]) -> None:
+        """Transactionally persist the members' post-step state."""
+        positions = {aid: self.program.position(aid) for aid in cluster}
+
+        def body(txn) -> None:
+            for aid in cluster:
+                txn.hset(f"agent:{aid}", "step", step + 1)
+                txn.hset(f"agent:{aid}", "pos", positions[aid])
+            txn.incr("commits")
+
+        self.store.transaction(body)
+
+    # -- controller ---------------------------------------------------------
+
+    def run(self, target_step: int, start_step: int = 0) -> LiveResult:
+        """Advance the world program from ``start_step`` to ``target_step``.
+
+        When ``start_step > 0`` the program must already be in its
+        step-``start_step`` state (e.g. warmed up lock-step) — useful for
+        jumping straight into an active window of the simulated day.
+        """
+        if target_step <= start_step:
+            raise SchedulingError("target_step must exceed start_step")
+        n = self.program.n_agents
+        for aid in range(n):
+            self.store.hset(f"agent:{aid}", "step", start_step)
+            self.store.hset(f"agent:{aid}", "pos", self.program.position(aid))
+        graph = SpatioTemporalGraph(
+            self.rules, {aid: self.program.position(aid) for aid in range(n)},
+            start_step=start_step)
+        workers = [threading.Thread(target=self._worker_loop, daemon=True)
+                   for _ in range(self.num_workers)]
+        start = time.monotonic()
+        for w in workers:
+            w.start()
+        try:
+            if self.scheduler.policy == "parallel-sync":
+                self._run_lockstep(target_step, n, start_step)
+            else:
+                self._run_ooo(target_step, n, graph)
+        finally:
+            for _ in workers:
+                self._ready_queue.put((float("inf"), self._next_seq(),
+                                       _SHUTDOWN, -1))
+            for w in workers:
+                w.join(timeout=30)
+        self._stats.target_step = target_step
+        self._stats.wall_time = time.monotonic() - start
+        self._stats.final_positions = {
+            aid: self.store.hget(f"agent:{aid}", "pos") for aid in range(n)}
+        return self._stats
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _submit(self, step: int, cluster: list[int]) -> None:
+        priority = float(step) if self.scheduler.priority else 0.0
+        self._ready_queue.put((priority, self._next_seq(), cluster, step))
+        self._stats.clusters_executed += 1
+        self._stats.cluster_size_sum += len(cluster)
+
+    def _await_ack(self) -> tuple[int, list[int]]:
+        kind, step, payload = self._ack_queue.get()
+        if kind == "error":
+            raise SchedulingError(
+                f"worker failed at step {step}: {payload!r}") from payload
+        return step, payload
+
+    def _run_lockstep(self, target_step: int, n: int,
+                      start_step: int = 0) -> None:
+        everyone = list(range(n))
+        for step in range(start_step, target_step):
+            self._submit(step, everyone)
+            self._await_ack()
+
+    def _run_ooo(self, target_step: int, n: int,
+                 graph: SpatioTemporalGraph) -> None:
+        ready = set(range(n))
+        done: set[int] = set()
+        in_flight = 0
+        in_flight += self._dispatch_round(graph, ready, set(ready),
+                                          target_step)
+        while len(done) < n:
+            if in_flight == 0:
+                raise SchedulingError(
+                    f"live scheduler stalled: done={len(done)}/{n}")
+            step, cluster = self._await_ack()
+            in_flight -= 1
+            candidates = graph.commit(
+                cluster, {aid: self.program.position(aid) for aid in cluster})
+            spread = graph.max_step - graph.min_step
+            self._stats.max_step_spread = max(self._stats.max_step_spread,
+                                              spread)
+            dirty: set[int] = set()
+            for aid in cluster:
+                if graph.step[aid] >= target_step:
+                    done.add(aid)
+                else:
+                    ready.add(aid)
+                    dirty.add(aid)
+            for aid in candidates:
+                if aid in ready:
+                    dirty.add(aid)
+            for aid in cluster:
+                for other in graph.index.query(graph.pos[aid],
+                                               self.rules.couple_threshold):
+                    if other in ready:
+                        dirty.add(other)
+            in_flight += self._dispatch_round(graph, ready, dirty,
+                                              target_step)
+
+    def _dispatch_round(self, graph: SpatioTemporalGraph, ready: set[int],
+                        dirty: set[int], target_step: int) -> int:
+        """Cluster the dirty frontier; dispatch unblocked clusters."""
+        dispatched = 0
+        visited: set[int] = set()
+        for seed in sorted(dirty):
+            if seed in visited or seed not in ready:
+                continue
+            step = graph.step[seed]
+            cluster = self._collect(graph, seed, step, visited)
+            if all(not graph.is_blocked(m) for m in cluster):
+                for m in cluster:
+                    ready.discard(m)
+                graph.mark_running(cluster)
+                self._submit(step, sorted(cluster))
+                dispatched += 1
+        return dispatched
+
+    def _collect(self, graph: SpatioTemporalGraph, seed: int, step: int,
+                 visited: set[int]) -> list[int]:
+        stack, members = [seed], []
+        visited.add(seed)
+        while stack:
+            aid = stack.pop()
+            members.append(aid)
+            for other in graph.index.query(graph.pos[aid],
+                                           self.rules.couple_threshold):
+                if (other != aid and other not in visited
+                        and graph.step[other] == step
+                        and not graph.running[other]):
+                    visited.add(other)
+                    stack.append(other)
+        return members

@@ -1,0 +1,97 @@
+"""World-program protocol and the gym-like Environment wrapper.
+
+A *world program* is the developer-defined side of the paper's
+architecture: given a step and a coupling-closed set of agents, it runs
+their ``proceed`` logic (issuing LLM calls through the engine's client)
+and applies their writes at commit. The engine guarantees the set it
+passes is closed under the §3.2 coupling relation and causally safe to
+run — the world program never needs locks of its own.
+
+:class:`BehaviorProgram` adapts the full :class:`repro.world` simulation;
+:class:`Environment` is the small façade mirroring the reset/run surface
+of RL-style frameworks the paper compares its interface to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+from ..config import SchedulerConfig
+from ..core.space import Position
+from ..world.behavior import BehaviorModel
+from .clients import LLMClient
+
+
+class WorldProgram(Protocol):
+    """Developer-defined world + agents, executed cluster-by-cluster."""
+
+    @property
+    def n_agents(self) -> int: ...
+
+    def position(self, aid: int) -> Position:
+        """Agent's current position (read by the dependency tracker)."""
+        ...
+
+    def execute(self, step: int, agent_ids: Sequence[int],
+                client: LLMClient) -> None:
+        """Run one step for a coupling-closed set of agents.
+
+        Called from a worker thread; may issue blocking LLM calls.
+        """
+        ...
+
+
+class BehaviorProgram:
+    """Adapts :class:`BehaviorModel` (the SmallVille world) to live runs."""
+
+    def __init__(self, model: BehaviorModel) -> None:
+        self.model = model
+
+    @property
+    def n_agents(self) -> int:
+        return len(self.model.agents)
+
+    def position(self, aid: int) -> Position:
+        return self.model.agents[aid].pos
+
+    def execute(self, step: int, agent_ids: Sequence[int],
+                client: LLMClient) -> None:
+        calls = self.model.step_agents(step, agent_ids)
+        for aid in sorted(calls):
+            for call in calls[aid]:
+                client.complete(
+                    prompt=f"[{call.func}] agent {aid} step {step} "
+                           f"({call.input_tokens} tokens)",
+                    max_tokens=call.output_tokens,
+                    priority=float(step))
+
+
+class Environment:
+    """Gym-flavoured façade over :class:`repro.live.LiveSimulation`.
+
+    Example::
+
+        world, homes = build_smallville()
+        personas = make_personas(5, seed=0, homes=homes)
+        program = BehaviorProgram(BehaviorModel(world, personas, seed=0))
+        env = Environment(program, EchoLLMClient())
+        result = env.run(target_step=50)
+    """
+
+    def __init__(self, program: WorldProgram, client: LLMClient,
+                 scheduler: SchedulerConfig | None = None,
+                 num_workers: int = 4) -> None:
+        from .engine import LiveSimulation  # avoid import cycle
+        self.program = program
+        self.client = client
+        self.scheduler = scheduler or SchedulerConfig()
+        self.num_workers = num_workers
+        self._sim: LiveSimulation | None = None
+
+    def run(self, target_step: int):
+        """Run the simulation to ``target_step`` and return its result."""
+        from .engine import LiveSimulation
+        self._sim = LiveSimulation(
+            self.program, self.client, scheduler=self.scheduler,
+            num_workers=self.num_workers)
+        return self._sim.run(target_step)

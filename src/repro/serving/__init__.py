@@ -1,0 +1,36 @@
+"""Simulated LLM serving engine (SGLang substitute).
+
+The paper replays GenAgent traces against SGLang on NVIDIA L4/A100 GPUs.
+This package reproduces the *performance behaviour* that matters to the
+scheduling comparison — continuous (iteration-level) batching on top of a
+roofline performance model, paged-KV memory admission, priority-aware
+queueing, and data-/tensor-parallel deployment — as a deterministic
+discrete-event simulation.
+
+Two fidelities are provided and tested against each other:
+
+* ``iteration`` — simulates every decode iteration / prefill burst.
+* ``fluid`` — advances an equivalent shared token clock between batch
+  composition changes (O(log n) events; used for 1000-agent benches).
+"""
+
+from .engine import ServingEngine
+from .metrics import EngineMetrics, RequestRecord
+from .perfmodel import PerfModel
+from .profiles import (GPUS, MODELS, GpuProfile, ModelProfile, get_gpu,
+                       get_model)
+from .request import LLMRequest
+
+__all__ = [
+    "ServingEngine",
+    "LLMRequest",
+    "PerfModel",
+    "GpuProfile",
+    "ModelProfile",
+    "GPUS",
+    "MODELS",
+    "get_gpu",
+    "get_model",
+    "EngineMetrics",
+    "RequestRecord",
+]

@@ -1,0 +1,100 @@
+"""Data-parallel serving engine: router + replicas + metrics.
+
+Mirrors the deployment shapes of §4.1: N data-parallel replicas, each a
+tensor-parallel group (e.g. 8 L4s = DP8 for Llama-3-8B; 8 A100s = DP2xTP4
+for Llama-3-70B; DP4xTP2 for Mixtral-8x7B). Requests are routed to the
+replica with the fewest outstanding requests (least-loaded, round-robin on
+ties), which is how simple multi-replica LLM deployments balance load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import ServingConfig
+from ..devent import Kernel
+from .metrics import EngineMetrics
+from .perfmodel import PerfModel
+from .profiles import get_gpu, get_model
+from .replica import make_replica
+from .request import LLMRequest
+
+
+class ServingEngine:
+    """The simulated serving deployment seen by scheduler drivers."""
+
+    def __init__(self, kernel: Kernel, config: ServingConfig) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.model = get_model(config.model)
+        self.gpu = get_gpu(config.gpu)
+        self.perf = PerfModel(
+            model=self.model, gpu=self.gpu, tp=config.tp,
+            kv_memory_fraction=config.kv_memory_fraction)
+        self.metrics = EngineMetrics()
+        self.replicas = [
+            make_replica(
+                config.fidelity, kernel, self.perf, replica_id=i,
+                priority_scheduling=config.priority_scheduling,
+                max_running_requests=config.max_running_requests,
+                on_request_finish=self._record_finish,
+                prefix_cache_hit_rate=config.prefix_cache_hit_rate)
+            for i in range(config.dp)
+        ]
+        self._rr = 0
+        self._id_counter = 0
+
+    # -- public API -------------------------------------------------------
+
+    def submit(self, request: LLMRequest) -> None:
+        """Route a request to the least-loaded replica."""
+        self.metrics.on_submit(self.kernel.now, request)
+        replica = self._pick_replica()
+        replica.submit(request)
+
+    def generate(self, prompt_tokens: int, output_tokens: int,
+                 priority: float = 0.0,
+                 on_complete: Optional[Callable[[LLMRequest], None]] = None,
+                 context=None) -> LLMRequest:
+        """Convenience wrapper building and submitting a request."""
+        request = LLMRequest(
+            request_id=self._next_id(), prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens, priority=priority,
+            on_complete=on_complete, context=context)
+        self.submit(request)
+        return request
+
+    def idle(self) -> bool:
+        return all(r.idle() for r in self.replicas)
+
+    @property
+    def kv_capacity_tokens(self) -> int:
+        return self.perf.kv_capacity_tokens
+
+    def busy_fraction(self, makespan: float) -> float:
+        """Mean replica busy-time share of the run (GPU utilization proxy)."""
+        if makespan <= 0:
+            return 0.0
+        total = sum(r.busy_time for r in self.replicas)
+        return total / (len(self.replicas) * makespan)
+
+    # -- internals -------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._id_counter += 1
+        return self._id_counter
+
+    def _pick_replica(self):
+        best = None
+        best_key = None
+        n = len(self.replicas)
+        for offset in range(n):
+            replica = self.replicas[(self._rr + offset) % n]
+            key = replica.outstanding
+            if best_key is None or key < best_key:
+                best, best_key = replica, key
+        self._rr = (self._rr + 1) % n
+        return best
+
+    def _record_finish(self, request: LLMRequest) -> None:
+        self.metrics.on_finish(self.kernel.now, request)

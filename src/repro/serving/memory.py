@@ -1,0 +1,61 @@
+"""KV-cache memory accounting for one replica.
+
+Follows the reservation discipline of paged-attention engines in replay
+mode: because the output length of every request is known (``ignore_eos``),
+the full ``prompt + output`` token footprint is reserved at admission, so
+no running request can be preempted by an out-of-memory condition
+mid-generation. Admission is head-of-line: if the next request does not
+fit, the replica waits for completions (matching vLLM/SGLang's FCFS
+waiting-queue behaviour).
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError
+from .request import LLMRequest
+
+
+class KVCacheManager:
+    """Token-granular KV cache reservation tracker."""
+
+    def __init__(self, capacity_tokens: int) -> None:
+        if capacity_tokens <= 0:
+            raise CapacityError(
+                f"replica has no KV capacity ({capacity_tokens} tokens); "
+                "model does not leave room for cache on this hardware")
+        self.capacity_tokens = int(capacity_tokens)
+        self.reserved_tokens = 0
+        self._reservations: dict[int, int] = {}
+
+    def fits(self, request: LLMRequest) -> bool:
+        """Whether ``request`` can be admitted right now."""
+        return self.reserved_tokens + request.total_tokens <= self.capacity_tokens
+
+    def check_feasible(self, request: LLMRequest) -> None:
+        """Raise if ``request`` could never fit even on an idle replica."""
+        if request.total_tokens > self.capacity_tokens:
+            raise CapacityError(
+                f"request {request.request_id} needs {request.total_tokens} "
+                f"KV tokens, capacity is {self.capacity_tokens}")
+
+    def reserve(self, request: LLMRequest) -> None:
+        if not self.fits(request):
+            raise CapacityError(
+                f"admitting request {request.request_id} would exceed "
+                f"KV capacity")
+        if request.request_id in self._reservations:
+            raise CapacityError(
+                f"request {request.request_id} already reserved")
+        self._reservations[request.request_id] = request.total_tokens
+        self.reserved_tokens += request.total_tokens
+
+    def release(self, request: LLMRequest) -> None:
+        tokens = self._reservations.pop(request.request_id, None)
+        if tokens is None:
+            raise CapacityError(
+                f"request {request.request_id} was not reserved")
+        self.reserved_tokens -= tokens
+
+    @property
+    def utilization(self) -> float:
+        return self.reserved_tokens / self.capacity_tokens

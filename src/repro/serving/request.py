@@ -1,0 +1,64 @@
+"""Request objects flowing through the simulated serving engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigError
+
+
+class RequestState(Enum):
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass(eq=False)  # identity semantics: requests are unique objects
+class LLMRequest:
+    """One LLM call.
+
+    In replay mode the output length is known from the trace (the paper
+    pins generation length via ``ignore_eos`` for exactly this reason), so
+    the engine can simulate the full lifecycle deterministically.
+
+    ``priority`` carries the simulation step of the issuing agent; under
+    priority scheduling (§3.5) smaller steps are served first.
+    """
+
+    request_id: int
+    prompt_tokens: int
+    output_tokens: int
+    priority: float = 0.0
+    #: Called with this request when generation finishes.
+    on_complete: Optional[Callable[["LLMRequest"], None]] = None
+    #: Opaque payload for callers (e.g. (agent, step, call index)).
+    context: Any = None
+
+    # lifecycle timestamps (virtual seconds), filled by the engine
+    submit_time: float = field(default=-1.0, init=False)
+    prefill_start: float = field(default=-1.0, init=False)
+    decode_start: float = field(default=-1.0, init=False)
+    finish_time: float = field(default=-1.0, init=False)
+    state: RequestState = field(default=RequestState.QUEUED, init=False)
+    #: Replica that served the request.
+    replica_id: int = field(default=-1, init=False)
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0:
+            raise ConfigError("prompt_tokens must be >= 0")
+        if self.output_tokens < 1:
+            # Every LLM call produces at least one token (even yes/no).
+            raise ConfigError("output_tokens must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.output_tokens
+
+    @property
+    def latency(self) -> float:
+        if self.finish_time < 0 or self.submit_time < 0:
+            raise ConfigError("request not finished")
+        return self.finish_time - self.submit_time

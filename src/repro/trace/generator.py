@@ -1,0 +1,134 @@
+"""Synthetic GenAgent trace generation.
+
+Runs the :mod:`repro.world` simulation lock-step for a day (or any number
+of steps), recording positions and LLM calls into a :class:`Trace`.
+Generation is deterministic in the seed. Day traces are cached on disk
+(npz) because the scaling benchmarks slice many windows out of the same
+days; set ``REPRO_TRACE_CACHE`` to relocate or ``=0`` to disable.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..config import STEPS_PER_DAY
+from ..errors import TraceError
+from ..world.behavior import FUNC_INDEX, BehaviorModel
+from ..world.pathfind import PathPlanner
+from ..world.persona import make_personas
+from ..world.smallville import (AGENTS_PER_VILLE, SMALLVILLE_HEIGHT,
+                                SMALLVILLE_WIDTH, build_smallville)
+from .io import load_trace, save_trace
+from .schema import Trace, TraceMeta, concat_traces
+
+#: Bump to invalidate cached traces when generation logic changes.
+GENERATOR_VERSION = 3
+
+_shared_planner: PathPlanner | None = None
+
+
+def _planner() -> PathPlanner:
+    """All villes share one map, so BFS distance fields are shared too."""
+    global _shared_planner
+    if _shared_planner is None:
+        world, _ = build_smallville()
+        _shared_planner = PathPlanner(world)
+    return _shared_planner
+
+
+def generate_trace(n_agents: int = AGENTS_PER_VILLE,
+                   n_steps: int = STEPS_PER_DAY,
+                   seed: int = 0) -> Trace:
+    """Simulate one SmallVille and record its trace."""
+    if n_agents < 1:
+        raise TraceError("need at least one agent")
+    planner = _planner()
+    world = planner.world
+    personas = make_personas(n_agents, seed, homes=[
+        name for name in world.venues if name.startswith("House")])
+    model = BehaviorModel(world, personas, seed=seed, planner=planner)
+
+    positions = np.zeros((n_agents, n_steps + 1, 2), dtype=np.int16)
+    for agent in model.agents:
+        positions[agent.agent_id, 0] = agent.pos
+    steps: list[int] = []
+    agents: list[int] = []
+    funcs: list[int] = []
+    ins: list[int] = []
+    outs: list[int] = []
+    for step in range(n_steps):
+        calls = model.step_all(step)
+        for aid in range(n_agents):
+            for call in calls[aid]:
+                steps.append(step)
+                agents.append(aid)
+                funcs.append(FUNC_INDEX[call.func])
+                ins.append(call.input_tokens)
+                outs.append(call.output_tokens)
+            positions[aid, step + 1] = model.agents[aid].pos
+
+    meta = TraceMeta(
+        n_agents=n_agents, n_steps=n_steps, seed=seed,
+        width=SMALLVILLE_WIDTH, height=SMALLVILLE_HEIGHT)
+    return Trace(
+        meta, positions,
+        np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),
+        np.asarray(funcs, dtype=np.int16), np.asarray(ins, dtype=np.int32),
+        np.asarray(outs, dtype=np.int32))
+
+
+def _cache_dir() -> Path | None:
+    env = os.environ.get("REPRO_TRACE_CACHE", "")
+    if env == "0":
+        return None
+    if env:
+        path = Path(env)
+    else:
+        path = Path(tempfile.gettempdir()) / "repro-traces"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_day_trace(seed: int, n_agents: int = AGENTS_PER_VILLE,
+                     n_steps: int = STEPS_PER_DAY) -> Trace:
+    """A (possibly cached) full-day single-ville trace."""
+    cache = _cache_dir()
+    if cache is None:
+        return generate_trace(n_agents, n_steps, seed)
+    path = cache / (f"v{GENERATOR_VERSION}-seed{seed}-a{n_agents}"
+                    f"-s{n_steps}.npz")
+    if path.exists():
+        try:
+            return load_trace(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+    trace = generate_trace(n_agents, n_steps, seed)
+    save_trace(trace, path)
+    return trace
+
+
+def generate_concatenated_trace(total_agents: int,
+                                n_steps: int = STEPS_PER_DAY,
+                                base_seed: int = 0) -> Trace:
+    """The §4.3 large ville: ceil(N/25) SmallVilles side-by-side.
+
+    Each segment replays an independently-seeded 25-agent day; segments
+    share the clock and the (concatenated) space, exactly as the paper
+    scales from 25 to 1000 agents.
+    """
+    if total_agents <= AGENTS_PER_VILLE:
+        return cached_day_trace(base_seed, total_agents, n_steps)
+    n_segments, remainder = divmod(total_agents, AGENTS_PER_VILLE)
+    segments = [
+        cached_day_trace(base_seed + k, AGENTS_PER_VILLE, n_steps)
+        for k in range(n_segments)
+    ]
+    if remainder:
+        segments.append(
+            cached_day_trace(base_seed + n_segments, remainder, n_steps))
+    # One-tile gutter between segments keeps the worlds disjoint.
+    return concat_traces(segments, x_stride=SMALLVILLE_WIDTH + 1)

@@ -1,0 +1,104 @@
+"""Trace persistence: compressed npz (fast path) and jsonl (interchange).
+
+The jsonl format mirrors the event records the paper describes collecting
+("input prompt, configurations, LLM response, calling step, and caller's
+identity" — here token counts stand in for the text), one JSON object per
+call event, plus a header object and a movement record per agent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+from .schema import Trace, TraceMeta
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as compressed npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        meta=json.dumps(asdict(trace.meta)),
+        positions=trace.positions,
+        call_step=trace.call_step,
+        call_agent=trace.call_agent,
+        call_func=trace.call_func,
+        call_in=trace.call_in,
+        call_out=trace.call_out,
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        meta = TraceMeta(**json.loads(str(data["meta"])))
+        return Trace(
+            meta, data["positions"],
+            data["call_step"], data["call_agent"], data["call_func"],
+            data["call_in"], data["call_out"])
+
+
+def export_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write the interchange jsonl representation."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(json.dumps({"type": "header", **asdict(trace.meta)}) + "\n")
+        for aid in range(trace.meta.n_agents):
+            fh.write(json.dumps({
+                "type": "movement", "agent": aid,
+                "path": trace.positions[aid].tolist()}) + "\n")
+        for i in range(trace.n_calls):
+            fh.write(json.dumps({
+                "type": "call",
+                "step": int(trace.call_step[i]),
+                "agent": int(trace.call_agent[i]),
+                "func": trace.func_name(int(trace.call_func[i])),
+                "input_tokens": int(trace.call_in[i]),
+                "output_tokens": int(trace.call_out[i]),
+            }) + "\n")
+
+
+def import_jsonl(path: str | Path) -> Trace:
+    """Read the interchange jsonl representation."""
+    from ..world.behavior import FUNC_INDEX
+
+    path = Path(path)
+    meta = None
+    movements: dict[int, list] = {}
+    steps, agents, funcs, ins, outs = [], [], [], [], []
+    with path.open() as fh:
+        for line in fh:
+            rec = json.loads(line)
+            kind = rec.pop("type")
+            if kind == "header":
+                meta = TraceMeta(**rec)
+            elif kind == "movement":
+                movements[rec["agent"]] = rec["path"]
+            elif kind == "call":
+                steps.append(rec["step"])
+                agents.append(rec["agent"])
+                funcs.append(FUNC_INDEX[rec["func"]])
+                ins.append(rec["input_tokens"])
+                outs.append(rec["output_tokens"])
+            else:
+                raise TraceError(f"unknown record type {kind!r}")
+    if meta is None:
+        raise TraceError("jsonl trace missing header record")
+    positions = np.zeros((meta.n_agents, meta.n_steps + 1, 2), dtype=np.int32)
+    for aid, pos_list in movements.items():
+        positions[aid] = np.asarray(pos_list, dtype=np.int32)
+    return Trace(
+        meta, positions,
+        np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),
+        np.asarray(funcs, dtype=np.int16), np.asarray(ins, dtype=np.int32),
+        np.asarray(outs, dtype=np.int32))

@@ -1,0 +1,203 @@
+"""Columnar trace representation.
+
+Positions and LLM calls are stored as dense numpy arrays so that thousand-
+agent traces stay compact and slicing an hour window (the paper's busy/
+quiet-hour benchmarks) is a cheap array operation. A CSR-style index maps
+``(agent, step)`` to that agent's ordered call chain for the step, which
+is what the scheduler drivers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from ..world.behavior import FUNCS
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Descriptive metadata carried alongside the arrays."""
+
+    n_agents: int
+    n_steps: int
+    seed: int
+    width: int
+    height: int
+    radius_p: float = 4.0
+    max_vel: float = 1.0
+    #: Absolute step-of-day at which this trace window begins.
+    base_step: int = 0
+    #: Number of concatenated SmallVille segments (1 = the original map).
+    segments: int = 1
+
+
+class Trace:
+    """One simulation's positions and LLM calls.
+
+    Attributes
+    ----------
+    positions:
+        ``int16[n_agents, n_steps + 1, 2]`` — tile at the *start* of each
+        step; ``positions[a, s+1]`` is where agent ``a`` ended step ``s``.
+        Per-step displacement never exceeds ``meta.max_vel``.
+    call_step / call_agent / call_func / call_in / call_out:
+        Parallel arrays of the call events, sorted by ``(agent, step)``
+        with chain order preserved. ``call_func`` indexes
+        :data:`repro.world.behavior.FUNCS`.
+    """
+
+    def __init__(self, meta: TraceMeta, positions: np.ndarray,
+                 call_step: np.ndarray, call_agent: np.ndarray,
+                 call_func: np.ndarray, call_in: np.ndarray,
+                 call_out: np.ndarray) -> None:
+        self.meta = meta
+        self.positions = positions
+        if positions.shape != (meta.n_agents, meta.n_steps + 1, 2):
+            raise TraceError(
+                f"positions shape {positions.shape} != "
+                f"{(meta.n_agents, meta.n_steps + 1, 2)}")
+        n = len(call_step)
+        for name, arr in (("call_agent", call_agent),
+                          ("call_func", call_func), ("call_in", call_in),
+                          ("call_out", call_out)):
+            if len(arr) != n:
+                raise TraceError(f"{name} length {len(arr)} != {n}")
+        # Normalize to (agent, step, original order) so chains are CSR rows.
+        order = np.lexsort((np.arange(n), call_step, call_agent))
+        self.call_step = np.ascontiguousarray(call_step[order])
+        self.call_agent = np.ascontiguousarray(call_agent[order])
+        self.call_func = np.ascontiguousarray(call_func[order])
+        self.call_in = np.ascontiguousarray(call_in[order])
+        self.call_out = np.ascontiguousarray(call_out[order])
+        self._validate()
+        self._build_index()
+
+    # -- construction helpers ------------------------------------------
+
+    def _validate(self) -> None:
+        meta = self.meta
+        if len(self.call_step) and (
+                self.call_step.min() < 0
+                or self.call_step.max() >= meta.n_steps):
+            raise TraceError("call step out of range")
+        if len(self.call_agent) and (
+                self.call_agent.min() < 0
+                or self.call_agent.max() >= meta.n_agents):
+            raise TraceError("call agent out of range")
+        if len(self.call_out) and self.call_out.min() < 1:
+            raise TraceError("output token counts must be >= 1")
+        # Movement speed limit (the dependency rules assume it).
+        deltas = np.diff(self.positions.astype(np.int32), axis=1)
+        speed = np.abs(deltas).sum(axis=2)  # Manhattan per step
+        if len(speed) and speed.max() > meta.max_vel:
+            raise TraceError(
+                f"an agent moved {speed.max()} tiles in one step "
+                f"(max_vel={meta.max_vel})")
+
+    def _build_index(self) -> None:
+        """CSR row pointers: row = agent * n_steps + step."""
+        n_rows = self.meta.n_agents * self.meta.n_steps
+        keys = (self.call_agent.astype(np.int64) * self.meta.n_steps
+                + self.call_step)
+        if len(keys) and np.any(np.diff(keys) < 0):
+            raise TraceError("internal: calls not sorted")  # pragma: no cover
+        self._row_ptr = np.zeros(n_rows + 1, dtype=np.int64)
+        counts = np.bincount(keys, minlength=n_rows) if len(keys) else \
+            np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(counts, out=self._row_ptr[1:])
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n_calls(self) -> int:
+        return len(self.call_step)
+
+    def chain_slice(self, agent: int, step: int) -> slice:
+        """Index range of agent's calls within ``step`` (chain order)."""
+        row = agent * self.meta.n_steps + step
+        return slice(int(self._row_ptr[row]), int(self._row_ptr[row + 1]))
+
+    def chain(self, agent: int, step: int) -> list[tuple[int, int, int]]:
+        """``[(func_id, prompt_tokens, output_tokens), ...]`` for the step."""
+        sl = self.chain_slice(agent, step)
+        return list(zip(self.call_func[sl].tolist(),
+                        self.call_in[sl].tolist(),
+                        self.call_out[sl].tolist()))
+
+    def chain_lengths(self) -> np.ndarray:
+        """``int64[n_agents, n_steps]`` — number of calls per agent-step."""
+        return np.diff(self._row_ptr).reshape(
+            self.meta.n_agents, self.meta.n_steps)
+
+    def pos(self, agent: int, step: int) -> tuple[int, int]:
+        """Tile of ``agent`` at the start of ``step``."""
+        x, y = self.positions[agent, step]
+        return int(x), int(y)
+
+    def func_name(self, func_id: int) -> str:
+        return FUNCS[func_id]
+
+    # -- transformations --------------------------------------------------
+
+    def window(self, start_step: int, end_step: int) -> "Trace":
+        """Sub-trace covering ``[start_step, end_step)``, steps renumbered."""
+        if not 0 <= start_step < end_step <= self.meta.n_steps:
+            raise TraceError(
+                f"bad window [{start_step}, {end_step}) of "
+                f"{self.meta.n_steps} steps")
+        mask = (self.call_step >= start_step) & (self.call_step < end_step)
+        meta = dc_replace(self.meta, n_steps=end_step - start_step,
+                          base_step=self.meta.base_step + start_step)
+        return Trace(
+            meta,
+            self.positions[:, start_step:end_step + 1].copy(),
+            self.call_step[mask] - start_step,
+            self.call_agent[mask],
+            self.call_func[mask],
+            self.call_in[mask],
+            self.call_out[mask],
+        )
+
+
+def concat_traces(traces: Sequence[Trace], x_stride: int) -> Trace:
+    """Place ``traces`` side-by-side in space (the §4.3 large ville).
+
+    Segment ``k`` keeps its own agents and calls but its x coordinates are
+    offset by ``k * x_stride``; agent ids are renumbered contiguously.
+    Segments share the clock, so inter-segment distances are real — they
+    are simply always too large for interaction, which is the point of the
+    paper's concatenation methodology.
+    """
+    if not traces:
+        raise TraceError("need at least one trace")
+    first = traces[0].meta
+    for t in traces:
+        if t.meta.n_steps != first.n_steps:
+            raise TraceError("all segments must cover the same steps")
+        if t.meta.height != first.height:
+            raise TraceError("all segments must share map height")
+    positions = []
+    steps, agents, funcs, ins, outs = [], [], [], [], []
+    agent_base = 0
+    for k, t in enumerate(traces):
+        pos = t.positions.astype(np.int32).copy()
+        pos[:, :, 0] += k * x_stride
+        positions.append(pos)
+        steps.append(t.call_step)
+        agents.append(t.call_agent + agent_base)
+        funcs.append(t.call_func)
+        ins.append(t.call_in)
+        outs.append(t.call_out)
+        agent_base += t.meta.n_agents
+    meta = dc_replace(
+        first, n_agents=agent_base, segments=len(traces),
+        width=(len(traces) - 1) * x_stride + first.width)
+    return Trace(
+        meta,
+        np.concatenate(positions, axis=0).astype(np.int32),
+        np.concatenate(steps), np.concatenate(agents),
+        np.concatenate(funcs), np.concatenate(ins), np.concatenate(outs))

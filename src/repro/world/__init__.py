@@ -1,0 +1,36 @@
+"""GenAgent-style world simulation (SmallVille substitute).
+
+The paper replays traces collected from the original Generative Agents
+implementation: 25 agents with personas and daily routines inhabiting the
+100x140-tile SmallVille map, perceiving within a radius of 4 tiles, moving
+1 tile per 10-second step, conversing when they meet. This package
+implements that world from scratch — map, venues, A* pathfinding, persona
+schedules, an associative memory stream, a perceive/retrieve/plan behavior
+loop and multi-step dyadic conversations — with the LLM replaced by a
+deterministic counter-based stochastic decision model (the decision
+*content* never affects replayed scheduling; the decision *timing and
+token costs* are calibrated to the paper's published trace statistics).
+
+Because every decision is keyed by ``(seed, agent, step)``, the world
+evolves identically no matter which scheduler executes it — the property
+AI Metropolis must preserve, and which the test suite checks end-to-end.
+"""
+
+from .grid import GridWorld, Venue
+from .smallville import build_smallville, SMALLVILLE_WIDTH, SMALLVILLE_HEIGHT
+from .persona import Persona, make_personas
+from .agent import AgentState
+from .behavior import BehaviorModel, LLMCall
+
+__all__ = [
+    "GridWorld",
+    "Venue",
+    "build_smallville",
+    "SMALLVILLE_WIDTH",
+    "SMALLVILLE_HEIGHT",
+    "Persona",
+    "make_personas",
+    "AgentState",
+    "BehaviorModel",
+    "LLMCall",
+]

@@ -1,0 +1,390 @@
+"""The perceive / retrieve / plan behavior loop (Algorithm 2 substitute).
+
+This module decides, for every agent at every step, (a) how the agent
+moves and interacts and (b) which LLM calls it issues, with what prompt
+and output token counts. Decision *content* comes from counter-based RNG
+keyed by ``(seed, agent, step)`` — never from execution order — so the
+world evolves identically under any causally-correct scheduler. Token
+counts are calibrated against the paper's trace statistics (§4.1): about
+56.7k calls per 25-agent day, mean prompt 642.6 tokens, mean output 21.9
+tokens, a 12-1pm busy hour of ≈5k calls and a 6-7am quiet hour of ≈800.
+
+Cluster-safe execution contract
+-------------------------------
+:meth:`BehaviorModel.step_agents` may be called with any subset of agents
+that is closed under the coupling relation (same step, distance <=
+``radius_p + max_vel``). All cross-agent reads (perception, conversation
+pairing) are restricted to the perception/chat radius, which the coupling
+threshold dominates, so executing one cluster at a time is equivalent to
+executing the full lock-step world — the property the OOO scheduler relies
+on, and which the integration tests verify end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._util import FastRng, fast_rng_for, rng_for
+from ..config import STEPS_PER_DAY
+from ..errors import WorldError
+from .agent import AgentState
+from .conversation import ConvState
+from .grid import GridWorld
+from .memory_stream import MemoryEvent
+from .pathfind import PathPlanner
+from .persona import Persona, SOCIAL_VENUES
+
+#: Function labels recorded in traces (the Figure-1 color legend).
+FUNCS = (
+    "daily_plan", "wake_routine", "action_decide", "action_decompose",
+    "pick_location", "observe_react", "utterance", "convo_summary",
+    "reflect_insight", "reflect_memo",
+)
+FUNC_INDEX = {name: i for i, name in enumerate(FUNCS)}
+
+#: Hard cap on prompt length (the original agents truncate context too).
+MAX_INPUT_TOKENS = 1600
+
+
+@dataclass(frozen=True)
+class LLMCall:
+    """One LLM invocation an agent makes within a step."""
+
+    func: str
+    input_tokens: int
+    output_tokens: int
+
+
+class BehaviorModel:
+    """Drives agents through a day and emits their LLM call chains."""
+
+    #: Agents within this distance may strike up a conversation.
+    CHAT_RADIUS = 2.0
+    #: Perception radius (GenAgent: 4 tiles) — cross-agent reads only
+    #: happen inside this radius; must stay <= coupling threshold.
+    PERCEPTION_RADIUS = 4.0
+
+    def __init__(self, world: GridWorld, personas: Sequence[Persona],
+                 seed: int, planner: PathPlanner | None = None) -> None:
+        self.world = world
+        self.personas = list(personas)
+        self.seed = seed
+        self.planner = planner or PathPlanner(world)
+        self.agents: list[AgentState] = []
+        for persona in self.personas:
+            home = world.venue(persona.home)
+            rng = rng_for(seed, "spawn", persona.agent_id)
+            pos = world.random_walkable_tile(rng, home)
+            self.agents.append(AgentState(persona=persona, pos=pos))
+
+    # ------------------------------------------------------------------
+    # public stepping API
+    # ------------------------------------------------------------------
+
+    def step_all(self, step: int) -> dict[int, list[LLMCall]]:
+        """Advance every agent one step (lock-step generation mode)."""
+        return self.step_agents(step, range(len(self.agents)))
+
+    def step_agents(self, step: int,
+                    agent_ids: Iterable[int]) -> dict[int, list[LLMCall]]:
+        """Advance a coupling-closed subset of agents one step."""
+        members = sorted(agent_ids)
+        calls: dict[int, list[LLMCall]] = {aid: [] for aid in members}
+        # Phase 1: solo decisions + movement, in agent-id order.
+        for aid in members:
+            self._step_solo(step, aid, calls[aid])
+        # Phase 2: pairwise interactions (conversation starts) — symmetric,
+        # keyed by the unordered pair so order cannot matter.
+        self._maybe_start_conversations(step, members, calls)
+        return calls
+
+    # ------------------------------------------------------------------
+    # solo behaviour
+    # ------------------------------------------------------------------
+
+    def _step_solo(self, step: int, aid: int, out: list[LLMCall]) -> None:
+        agent = self.agents[aid]
+        persona = agent.persona
+        rng = fast_rng_for(self.seed, "beh", aid, step)
+        day_step = step % STEPS_PER_DAY
+
+        if agent.busy_chatting:
+            self._conversation_turn(step, aid, out)
+            return
+
+        # Sleep/wake edges.
+        if not agent.awake:
+            if day_step == persona.wake_step:
+                self._wake(step, agent, rng, out)
+            return
+        if day_step >= persona.sleep_step and not agent.busy_chatting:
+            if agent.activity != "heading home":
+                agent.activity = "heading home"
+                agent.target_venue = persona.home
+                agent.target_tile = None
+            if self._arrived(agent):
+                agent.awake = False
+                agent.activity = "sleeping"
+                agent.target_venue = None
+                return
+
+        # Follow the schedule: retarget when the routine block changes.
+        block = persona.block_at(day_step)
+        if block.activity != "sleeping" and agent.activity != block.activity:
+            agent.activity = block.activity
+            if block.venue != self._current_venue_name(agent):
+                agent.target_venue = block.venue
+                agent.target_tile = None
+                if rng.random() < 0.5:
+                    out.append(self._call(rng, "pick_location", agent, step))
+
+        # Walk toward the target, or act in place.
+        if agent.target_venue is not None and not self._arrived(agent):
+            self._move_toward_target(agent, rng)
+            if rng.random() < 0.12:
+                out.append(self._call(rng, "observe_react", agent, step))
+                self._observe_surroundings(step, aid)
+        else:
+            agent.target_venue = None
+            self._act_in_place(step, agent, rng, out)
+
+        # Reflection when enough importance accumulated (GenAgent-style).
+        if (agent.memory.importance_since_reflection > 12.0
+                and step - agent.last_reflection > 180):
+            out.append(self._call(rng, "reflect_insight", agent, step))
+            for _ in range(int(rng.integers(2, 5))):
+                out.append(self._call(rng, "reflect_memo", agent, step))
+            agent.memory.reset_reflection_counter()
+            agent.last_reflection = step
+            agent.memory.add(MemoryEvent(
+                step=step, kind="reflection",
+                keywords=frozenset({"reflection", persona.archetype}),
+                importance=0.4, tokens=44))
+
+    def _wake(self, step: int, agent: AgentState, rng: np.random.Generator,
+              out: list[LLMCall]) -> None:
+        agent.awake = True
+        agent.activity = "morning routine"
+        out.append(self._call(rng, "daily_plan", agent, step))
+        for _ in range(int(rng.integers(3, 7))):
+            out.append(self._call(rng, "wake_routine", agent, step))
+        agent.memory.add(MemoryEvent(
+            step=step, kind="plan",
+            keywords=frozenset({"plan", agent.persona.archetype}),
+            importance=0.5, tokens=60))
+
+    def _act_in_place(self, step: int, agent: AgentState,
+                      rng: np.random.Generator, out: list[LLMCall]) -> None:
+        if step < agent.dwell_until:
+            return
+        out.append(self._call(rng, "action_decide", agent, step))
+        # Heavy-tailed decomposition chains: most decisions are quick, a
+        # few expand into long sequential planning chains (the §2.2
+        # imbalance that throttles lock-step parallelism).
+        extra = int(rng.random() ** 2.5 * 8)
+        for _ in range(extra):
+            out.append(self._call(rng, "action_decompose", agent, step))
+        # Re-decision cadence depends on how absorbing the activity is:
+        # quiet-hour morning routines are slow, social blocks are lively.
+        lo, hi = self._DWELL.get(agent.activity, (4, 12))
+        agent.dwell_until = step + int(rng.integers(lo, hi))
+        self._observe_surroundings(step, agent.agent_id)
+        # Small chance of wandering within the venue.
+        if rng.random() < 0.3:
+            venue = self.world.venue_at(*agent.pos)
+            if venue is not None:
+                agent.target_tile = self.world.random_walkable_tile(rng, venue)
+                agent.target_venue = venue.name
+
+    # ------------------------------------------------------------------
+    # movement
+    # ------------------------------------------------------------------
+
+    def _current_venue_name(self, agent: AgentState) -> str | None:
+        venue = self.world.venue_at(*agent.pos)
+        return venue.name if venue is not None else None
+
+    def _arrived(self, agent: AgentState) -> bool:
+        if agent.target_venue is None:
+            return True
+        venue = self.world.venue(agent.target_venue)
+        if agent.target_tile is not None:
+            return agent.pos == agent.target_tile
+        return venue.contains(*agent.pos)
+
+    def _move_toward_target(self, agent: AgentState,
+                            rng: np.random.Generator) -> None:
+        """One movement step.
+
+        Outside the target venue, agents follow the shortest path to the
+        venue center — centers are shared goals, so the planner's BFS
+        distance fields are computed once per venue, not once per walk.
+        Inside (venue interiors are open rectangles), they walk
+        axis-greedily to their personal target tile.
+        """
+        venue = self.world.venue(agent.target_venue)
+        if agent.target_tile is None or not venue.contains(*agent.target_tile):
+            agent.target_tile = self.world.random_walkable_tile(rng, venue)
+        if venue.contains(*agent.pos):
+            x, y = agent.pos
+            tx, ty = agent.target_tile
+            if x != tx:
+                agent.pos = (x + (1 if tx > x else -1), y)
+            elif y != ty:
+                agent.pos = (x, y + (1 if ty > y else -1))
+        else:
+            agent.pos = self.planner.next_step(agent.pos, venue.center)
+        if agent.pos == agent.target_tile:
+            agent.target_venue = None
+            agent.target_tile = None
+
+    # ------------------------------------------------------------------
+    # perception & conversations
+    # ------------------------------------------------------------------
+
+    def _neighbors_within(self, aid: int, radius: float) -> list[int]:
+        """Other agents within ``radius`` of agent ``aid`` (any subset)."""
+        ax, ay = self.agents[aid].pos
+        out = []
+        for other in self.agents:
+            if other.agent_id == aid:
+                continue
+            dx = other.pos[0] - ax
+            dy = other.pos[1] - ay
+            if dx * dx + dy * dy <= radius * radius:
+                out.append(other.agent_id)
+        return out
+
+    def _observe_surroundings(self, step: int, aid: int) -> None:
+        """Write memory events about perceivable agents (radius <= 4)."""
+        agent = self.agents[aid]
+        for other_id in self._neighbors_within(aid, self.PERCEPTION_RADIUS):
+            other = self.agents[other_id]
+            agent.memory.add(MemoryEvent(
+                step=step, kind="observation",
+                keywords=frozenset({other.persona.name, other.activity}),
+                importance=0.15, tokens=36))
+
+    def _maybe_start_conversations(self, step: int, members: list[int],
+                                   calls: dict[int, list[LLMCall]]) -> None:
+        for i, aid in enumerate(members):
+            a = self.agents[aid]
+            if not a.awake or a.busy_chatting:
+                continue
+            for bid in members[i + 1:]:
+                b = self.agents[bid]
+                if not b.awake or b.busy_chatting or a.busy_chatting:
+                    continue
+                dx = a.pos[0] - b.pos[0]
+                dy = a.pos[1] - b.pos[1]
+                if dx * dx + dy * dy > self.CHAT_RADIUS ** 2:
+                    continue
+                rng = fast_rng_for(self.seed, "chat", min(aid, bid),
+                                   max(aid, bid), step)
+                social = (self._current_venue_name(a) in SOCIAL_VENUES)
+                base = 0.115 if (social and a.activity == "lunch") else \
+                    0.04 if social else 0.008
+                prob = base * a.persona.sociability * b.persona.sociability
+                if rng.random() >= prob:
+                    continue
+                self._generate_conversation(step, aid, bid, rng, calls)
+
+    def _generate_conversation(self, step: int, aid: int, bid: int,
+                               rng, calls: dict[int, list[LLMCall]]) -> None:
+        """Generate the full dialogue as one chain on the initiator's side.
+
+        Matches GenAgent: the meeting step carries the whole utterance
+        chain (the busy-hour straggler), the partner contributes only a
+        summary call, and both stay engaged — frozen, no further calls —
+        for the conversation's simulated duration.
+        """
+        a, b = self.agents[aid], self.agents[bid]
+        turns = int(rng.integers(8, 26))
+        history = 0
+        for turn in range(turns):
+            speaker = a if turn % 2 == 0 else b
+            utterance = int(rng.integers(28, 72))
+            prompt = self._prompt_tokens(
+                speaker, step, base=425 + history, top_k=4)
+            calls[aid].append(LLMCall("utterance", prompt, utterance))
+            history += utterance
+        for agent_obj, agent_calls in ((a, calls[aid]), (b, calls[bid])):
+            agent_calls.append(self._call(rng, "convo_summary", agent_obj,
+                                          step))
+        freeze = turns + int(rng.integers(2, 8))
+        a.conversation, b.conversation = bid, aid
+        a.conv_state = ConvState(partner=bid, freeze_left=freeze)
+        b.conv_state = ConvState(partner=aid, freeze_left=freeze)
+        # Freeze both in place for the conversation's duration.
+        a.target_venue = a.target_tile = None
+        b.target_venue = b.target_tile = None
+        for agent_obj, partner in ((a, b), (b, a)):
+            agent_obj.memory.add(MemoryEvent(
+                step=step, kind="chat",
+                keywords=frozenset({partner.persona.name, "conversation"}),
+                importance=0.6, tokens=58))
+
+    def _conversation_turn(self, step: int, aid: int,
+                           out: list[LLMCall]) -> None:
+        """One frozen step of an ongoing conversation, from ``aid``'s side.
+
+        The dialogue's LLM calls were all issued at the meeting step; the
+        engaged steps just hold both partners in place (both tick their
+        own mirrored countdown — same step, same cluster).
+        """
+        agent = self.agents[aid]
+        conv: ConvState = agent.conv_state
+        rng = fast_rng_for(self.seed, "turn", min(aid, conv.partner),
+                           max(aid, conv.partner), step, aid)
+        if rng.random() < 0.04:
+            out.append(self._call(rng, "observe_react", agent, step))
+        if conv.tick():
+            agent.conversation = None
+            agent.conv_state = None
+            agent.dwell_until = step + int(rng.integers(2, 6))
+
+    # ------------------------------------------------------------------
+    # token model
+    # ------------------------------------------------------------------
+
+    #: activity -> (dwell lo, dwell hi) steps between action decisions.
+    _DWELL = {
+        "morning routine": (9, 20),
+        "working": (3, 9),
+        "lunch": (2, 7),
+        "socializing": (3, 9),
+        "dinner": (5, 13),
+    }
+
+    #: func -> (base prompt tokens, retrieval top_k, output lo, output hi)
+    _FUNC_SHAPE = {
+        "daily_plan": (500, 8, 180, 380),
+        "wake_routine": (400, 4, 6, 18),
+        "action_decide": (375, 8, 6, 16),
+        "action_decompose": (345, 4, 12, 30),
+        "pick_location": (460, 6, 4, 9),
+        "observe_react": (385, 4, 4, 12),
+        "convo_summary": (470, 6, 45, 90),
+        "reflect_insight": (640, 10, 55, 100),
+        "reflect_memo": (700, 6, 25, 50),
+    }
+
+    def _prompt_tokens(self, agent: AgentState, step: int, base: int,
+                       top_k: int) -> int:
+        retrieved = agent.memory.retrieved_tokens(
+            step, frozenset({agent.activity}), top_k=top_k)
+        return min(base + retrieved, MAX_INPUT_TOKENS)
+
+    def _call(self, rng: np.random.Generator, func: str, agent: AgentState,
+              step: int) -> LLMCall:
+        try:
+            base, top_k, out_lo, out_hi = self._FUNC_SHAPE[func]
+        except KeyError:
+            raise WorldError(f"unknown function {func!r}") from None
+        jitter = int(rng.integers(-40, 120))
+        prompt = self._prompt_tokens(agent, step, base + jitter, top_k)
+        output = int(rng.integers(out_lo, out_hi + 1))
+        return LLMCall(func, max(prompt, 16), output)

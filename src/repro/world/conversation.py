@@ -1,0 +1,35 @@
+"""Dyadic conversation state.
+
+Conversations reproduce GenAgent's structure faithfully because it is the
+single biggest influence on scheduling: when two agents meet, the *whole*
+dialogue is generated turn-by-turn as one long chain of LLM calls within
+the step where they meet (the original implementation drives both sides'
+utterances from one loop), and the participants then stay "in
+conversation" — frozen in place, issuing no further calls — for the
+simulated duration of the chat. Those long single-step chains are the
+stragglers that collapse lock-step parallelism in the busy hour (§2.2),
+and the frozen pair is a real inter-agent dependency the OOO scheduler
+must respect (they stay within coupling range the whole time).
+
+State is stored symmetrically on both agents (no shared object), so a
+scheduler that executes the pair inside one cluster updates it without
+touching anything outside the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConvState:
+    """One participant's view of an ongoing conversation."""
+
+    partner: int
+    #: Steps the participant remains engaged (frozen in place).
+    freeze_left: int
+
+    def tick(self) -> bool:
+        """Advance one step; True when the conversation has ended."""
+        self.freeze_left -= 1
+        return self.freeze_left <= 0

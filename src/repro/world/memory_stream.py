@@ -1,0 +1,93 @@
+"""Associative memory stream (the GenAgent "retrieve" substrate).
+
+GenAgent agents keep an append-only stream of observations and retrieve
+the most salient ones to build LLM prompts; prompt length therefore grows
+with how eventful an agent's recent life has been. We reproduce that
+mechanism — recency/importance/relevance scoring over an event stream —
+without an LLM: importance is assigned at write time and relevance is
+keyword overlap.
+
+The stream is bounded (a deque) because retrieval runs on the trace
+generator's innermost loop: tens of thousands of retrievals per simulated
+day. Recency decay makes old events score near zero anyway, so bounding
+the window changes scores negligibly while keeping retrieval O(window).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One observation in the stream."""
+
+    step: int
+    kind: str  # "observation" | "chat" | "plan" | "reflection"
+    keywords: frozenset[str]
+    importance: float  # [0, 1]
+    #: Token length of the event's natural-language description.
+    tokens: int
+
+
+class MemoryStream:
+    """Bounded event stream with salience-scored retrieval."""
+
+    #: Exponential recency decay per step (GenAgent decays per hour; this
+    #: is the equivalent rate for the 10-second step).
+    RECENCY_DECAY = 0.999
+    #: Events retained (recency decay makes older ones irrelevant).
+    WINDOW = 64
+
+    def __init__(self, window: int = WINDOW) -> None:
+        self._events: deque[MemoryEvent] = deque(maxlen=window)
+        #: Importance accumulated since the last reflection (GenAgent
+        #: triggers reflection when this crosses a threshold).
+        self.importance_since_reflection = 0.0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def add(self, event: MemoryEvent) -> None:
+        self._events.append(event)
+        self.importance_since_reflection += event.importance
+
+    def _score(self, event: MemoryEvent, now_step: int,
+               query_keywords: frozenset[str]) -> float:
+        age = now_step - event.step
+        recency = self.RECENCY_DECAY ** age if age < 4000 else 0.0
+        if query_keywords:
+            overlap = len(query_keywords & event.keywords)
+            relevance = 0.1 + overlap / len(query_keywords)
+        else:
+            relevance = 1.0
+        return recency * (0.5 + event.importance) * relevance
+
+    def retrieve(self, now_step: int, query_keywords: frozenset[str],
+                 top_k: int = 8) -> list[MemoryEvent]:
+        """Top-k events by recency * importance * relevance."""
+        scored = sorted(
+            self._events,
+            key=lambda e: -self._score(e, now_step, query_keywords))
+        return scored[:top_k]
+
+    def retrieved_tokens(self, now_step: int,
+                         query_keywords: frozenset[str],
+                         top_k: int = 8) -> int:
+        """Token volume of a retrieval — the prompt-building cost driver.
+
+        Avoids the full sort: with a bounded window, summing the ``top_k``
+        largest scores via one pass is cheap and exact enough; we sum the
+        token lengths of the top-k scored events.
+        """
+        events = self._events
+        if len(events) <= top_k:
+            return sum(e.tokens for e in events)
+        scores = [(self._score(e, now_step, query_keywords), e.tokens)
+                  for e in events]
+        scores.sort(key=lambda pair: -pair[0])
+        return sum(tokens for _, tokens in scores[:top_k])
+
+    def reset_reflection_counter(self) -> None:
+        self.importance_since_reflection = 0.0

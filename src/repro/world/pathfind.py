@@ -1,0 +1,123 @@
+"""Grid pathfinding.
+
+Trace generation needs tens of thousands of venue-to-venue walks, so the
+planner is a *distance-field* router: one BFS flood per goal tile (cached)
+and greedy descent from any start. This is equivalent to shortest paths on
+the 4-connected grid and amortizes perfectly across agents that share
+destinations (everyone walks to the cafe at lunch). A plain A* is also
+provided for one-off queries and as a cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from ..errors import WorldError
+from .grid import GridWorld
+
+_UNREACHABLE = np.iinfo(np.int32).max
+
+
+class PathPlanner:
+    """Shortest-path routing with per-goal BFS distance fields."""
+
+    def __init__(self, world: GridWorld) -> None:
+        self.world = world
+        self._fields: dict[tuple[int, int], np.ndarray] = {}
+
+    def distance_field(self, goal: tuple[int, int]) -> np.ndarray:
+        """BFS hop-count array from every tile to ``goal`` (cached)."""
+        field = self._fields.get(goal)
+        if field is not None:
+            return field
+        gx, gy = goal
+        if not self.world.is_walkable(gx, gy):
+            raise WorldError(f"goal {goal} is not walkable")
+        h, w = self.world.height, self.world.width
+        field = np.full((h, w), _UNREACHABLE, dtype=np.int32)
+        field[gy, gx] = 0
+        queue = deque([goal])
+        walkable = self.world.walkable
+        while queue:
+            x, y = queue.popleft()
+            d = field[y, x] + 1
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if (0 <= nx < w and 0 <= ny < h and walkable[ny, nx]
+                        and field[ny, nx] == _UNREACHABLE):
+                    field[ny, nx] = d
+                    queue.append((nx, ny))
+        self._fields[goal] = field
+        return field
+
+    def distance(self, start: tuple[int, int], goal: tuple[int, int]) -> int:
+        field = self.distance_field(goal)
+        d = int(field[start[1], start[0]])
+        if d == _UNREACHABLE:
+            raise WorldError(f"no path from {start} to {goal}")
+        return d
+
+    def next_step(self, start: tuple[int, int],
+                  goal: tuple[int, int]) -> tuple[int, int]:
+        """The next tile on a shortest path (``start`` if already there)."""
+        if start == goal:
+            return start
+        field = self.distance_field(goal)
+        x, y = start
+        here = field[y, x]
+        if here == _UNREACHABLE:
+            raise WorldError(f"no path from {start} to {goal}")
+        best = start
+        best_d = here
+        # Deterministic neighbour order keeps replay stable.
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if self.world.is_walkable(nx, ny) and field[ny, nx] < best_d:
+                best, best_d = (nx, ny), field[ny, nx]
+        return best
+
+    def path(self, start: tuple[int, int],
+             goal: tuple[int, int]) -> list[tuple[int, int]]:
+        """Full shortest path, including both endpoints."""
+        out = [start]
+        pos = start
+        limit = self.world.width * self.world.height + 1
+        for _ in range(limit):
+            if pos == goal:
+                return out
+            pos = self.next_step(pos, goal)
+            out.append(pos)
+        raise WorldError("path descent did not terminate")  # pragma: no cover
+
+
+def astar(world: GridWorld, start: tuple[int, int],
+          goal: tuple[int, int]) -> list[tuple[int, int]]:
+    """Textbook A* with Manhattan heuristic (reference implementation)."""
+    if not world.is_walkable(*start) or not world.is_walkable(*goal):
+        raise WorldError("start/goal not walkable")
+
+    def h(p: tuple[int, int]) -> int:
+        return abs(p[0] - goal[0]) + abs(p[1] - goal[1])
+
+    open_heap: list[tuple[int, int, tuple[int, int]]] = [(h(start), 0, start)]
+    g_score = {start: 0}
+    came: dict[tuple[int, int], tuple[int, int]] = {}
+    seq = 0
+    while open_heap:
+        _, _, current = heapq.heappop(open_heap)
+        if current == goal:
+            path = [current]
+            while current in came:
+                current = came[current]
+                path.append(current)
+            path.reverse()
+            return path
+        for nxt in world.neighbors(*current):
+            tentative = g_score[current] + 1
+            if tentative < g_score.get(nxt, 1 << 30):
+                g_score[nxt] = tentative
+                came[nxt] = current
+                seq += 1
+                heapq.heappush(open_heap, (tentative + h(nxt), seq, nxt))
+    raise WorldError(f"no path from {start} to {goal}")

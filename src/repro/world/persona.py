@@ -1,0 +1,126 @@
+"""Personas and daily schedules.
+
+Each agent gets a home, an occupation venue, and an hour-by-hour routine
+generated from a small set of archetypes. The archetype mix is chosen so
+the *aggregate* diurnal LLM-call profile matches the paper's Figure 4c:
+everyone asleep 1am-4am (activity trough), staggered waking around the
+6-7am "quiet hour" (light wake-up routines), and a midday peak around the
+12-1pm "busy hour" when most personas converge on social venues for lunch
+and long conversations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import rng_for
+from ..config import STEPS_PER_HOUR
+
+#: (archetype, work venue, weight)
+_ARCHETYPES: list[tuple[str, str, float]] = [
+    ("student", "Oak Hill College", 0.3),
+    ("shopkeeper", "Willow Market", 0.15),
+    ("barista", "Hobbs Cafe", 0.1),
+    ("pharmacist", "Dorm Pharmacy", 0.1),
+    ("artist", "Artist Co-Living", 0.15),
+    ("retiree", "Johnson Park", 0.2),
+]
+
+_FIRST_NAMES = [
+    "Abigail", "Adam", "Arthur", "Ayesha", "Carlos", "Carmen", "Eddy",
+    "Francisco", "Giorgio", "Hailey", "Isabella", "Jane", "Jennifer",
+    "John", "Klaus", "Latoya", "Maria", "Mei", "Rajiv", "Ryan", "Sam",
+    "Tamara", "Tom", "Wolfgang", "Yuriko",
+]
+
+#: Social venues where lunch/evening gatherings happen.
+SOCIAL_VENUES = ["Hobbs Cafe", "The Rose Bar", "Johnson Park"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One block of the daily routine."""
+
+    start_step: int  # step-of-day when the block begins
+    venue: str
+    activity: str
+
+
+@dataclass(frozen=True)
+class Persona:
+    """An agent's identity and daily routine."""
+
+    agent_id: int
+    name: str
+    archetype: str
+    home: str
+    work: str
+    #: Step-of-day the agent wakes (triggers the daily-plan LLM chain).
+    wake_step: int
+    #: Step-of-day the agent goes to bed.
+    sleep_step: int
+    #: Chattiness in [0, 1]: probability scale for starting conversations.
+    sociability: float
+    schedule: tuple[ScheduleEntry, ...] = field(default_factory=tuple)
+
+    def block_at(self, step_of_day: int) -> ScheduleEntry:
+        """The routine block active at ``step_of_day``."""
+        current = self.schedule[0]
+        for entry in self.schedule:
+            if entry.start_step <= step_of_day:
+                current = entry
+            else:
+                break
+        return current
+
+
+def _hour(h: float) -> int:
+    return int(h * STEPS_PER_HOUR)
+
+
+def make_personas(n_agents: int, seed: int, homes: list[str]) -> list[Persona]:
+    """Generate ``n_agents`` personas with staggered, archetype-based days."""
+    personas = []
+    weights = [w for _, _, w in _ARCHETYPES]
+    total_weight = sum(weights)
+    for agent_id in range(n_agents):
+        rng = rng_for(seed, "persona", agent_id)
+        pick = rng.random() * total_weight
+        cumulative = 0.0
+        archetype, work = _ARCHETYPES[-1][0], _ARCHETYPES[-1][1]
+        for name_, work_, weight in _ARCHETYPES:
+            cumulative += weight
+            if pick <= cumulative:
+                archetype, work = name_, work_
+                break
+        home = homes[agent_id % len(homes)]
+        # Staggered waking: 6:00-7:40am; retirees half an hour earlier.
+        wake = _hour(6.0) + int(rng.integers(0, _hour(1.67)))
+        if archetype == "retiree":
+            wake -= _hour(0.5)
+        sleep = _hour(21.5) + int(rng.integers(0, _hour(2.4)))
+        lunch_venue = SOCIAL_VENUES[int(rng.integers(0, len(SOCIAL_VENUES)))]
+        evening_venue = SOCIAL_VENUES[int(rng.integers(0, len(SOCIAL_VENUES)))]
+        lunch_start = _hour(11.7) + int(rng.integers(0, _hour(0.5)))
+        schedule = (
+            ScheduleEntry(0, home, "sleeping"),
+            ScheduleEntry(wake, home, "morning routine"),
+            ScheduleEntry(wake + _hour(1.0), work, "working"),
+            ScheduleEntry(lunch_start, lunch_venue, "lunch"),
+            ScheduleEntry(_hour(13.25), work, "working"),
+            ScheduleEntry(_hour(17.5), evening_venue, "socializing"),
+            ScheduleEntry(_hour(19.5), home, "dinner"),
+            ScheduleEntry(sleep, home, "sleeping"),
+        )
+        personas.append(Persona(
+            agent_id=agent_id,
+            name=f"{_FIRST_NAMES[agent_id % len(_FIRST_NAMES)]}-{agent_id}",
+            archetype=archetype,
+            home=home,
+            work=work,
+            wake_step=wake,
+            sleep_step=sleep,
+            sociability=0.3 + 0.7 * float(rng.random()),
+            schedule=schedule,
+        ))
+    return personas

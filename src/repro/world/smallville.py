@@ -1,0 +1,60 @@
+"""The SmallVille map (100x140 tiles, as in the paper's §4.2).
+
+Twelve houses line the north and south edges; the social and work venues
+(cafe, bar, park, college, market, pharmacy, co-living studio) sit in the
+middle band. Buildings are walled with a single door, so walks between
+venues funnel through shared streets — giving agents realistic chances to
+pass within perception radius of each other.
+
+For the §4.3 scaling experiments, multiple independent SmallVilles are
+concatenated side-by-side into one large ville (see
+:func:`repro.trace.generator.generate_concatenated_trace`), exactly how
+the paper scales to 1000 agents.
+"""
+
+from __future__ import annotations
+
+from .grid import GridWorld, Venue
+
+SMALLVILLE_WIDTH = 140
+SMALLVILLE_HEIGHT = 100
+
+#: Number of agents per SmallVille segment in the paper's setup.
+AGENTS_PER_VILLE = 25
+
+
+def build_smallville() -> tuple[GridWorld, list[str]]:
+    """Construct the map; returns ``(world, home venue names)``."""
+    world = GridWorld(SMALLVILLE_WIDTH, SMALLVILLE_HEIGHT)
+    homes: list[str] = []
+
+    def house(idx: int, x0: int, y0: int) -> None:
+        name = f"House {idx}"
+        world.add_venue(Venue(name, x0, y0, x0 + 5, y0 + 5,
+                              objects=("bed", "desk", "stove")))
+        homes.append(name)
+
+    # One house per agent (the paper's agents live alone or in dorms; a
+    # house per agent keeps sleeping agents out of each other's coupling
+    # radius, matching the sparse 1.85-dependency statistic).
+    for k in range(13):
+        house(k, 4 + 10 * k, 4)
+    for k in range(13):
+        house(13 + k, 4 + 10 * k, 90)
+
+    world.add_venue(Venue("Hobbs Cafe", 18, 42, 35, 53,
+                          objects=("counter", "espresso machine", "table")))
+    world.add_venue(Venue("The Rose Bar", 52, 42, 69, 53,
+                          objects=("bar", "jukebox", "booth")))
+    world.add_venue(Venue("Johnson Park", 90, 40, 115, 58,
+                          objects=("bench", "fountain", "lawn")),
+                    walled=False)
+    world.add_venue(Venue("Oak Hill College", 104, 14, 124, 26,
+                          objects=("lectern", "library shelf", "lab bench")))
+    world.add_venue(Venue("Willow Market", 40, 66, 51, 75,
+                          objects=("shelf", "register", "storage")))
+    world.add_venue(Venue("Dorm Pharmacy", 76, 66, 84, 73,
+                          objects=("pharmacy counter", "shelf")))
+    world.add_venue(Venue("Artist Co-Living", 120, 70, 132, 82,
+                          objects=("easel", "kiln", "couch")))
+    return world, homes

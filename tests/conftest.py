@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Traces are expensive to generate, so the suite shares a few session-scoped
+ones; they are deterministic in the seed, so sharing cannot couple tests.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.config import ServingConfig
+from repro.trace import generate_trace
+
+from helpers import random_trace
+
+
+@pytest.fixture(scope="session")
+def synthetic_trace():
+    """Random-walk trace: 6 agents, 40 steps, small calls (fast replays)."""
+    return random_trace(seed=11)
+
+
+@pytest.fixture(scope="session")
+def morning_trace():
+    """8 world agents over the waking ramp (6-8am), with real activity."""
+    full = generate_trace(n_agents=8, n_steps=2960, seed=3)
+    return full.window(2100, 2940)
+
+
+@pytest.fixture(scope="session")
+def day_trace():
+    """The standard 25-agent full day (disk-cached across sessions)."""
+    from repro.trace import cached_day_trace
+    return cached_day_trace(seed=0)
+
+
+@pytest.fixture()
+def l4_serving():
+    return ServingConfig(model="llama3-8b", gpu="l4", dp=1)

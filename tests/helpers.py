@@ -1,0 +1,47 @@
+"""Test utilities: compact synthetic traces with full structural control."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.schema import Trace, TraceMeta
+
+
+def random_trace(seed: int, n_agents: int = 6, n_steps: int = 40,
+                 width: int = 40, height: int = 30,
+                 p_call: float = 0.35, max_chain: int = 3,
+                 radius_p: float = 4.0) -> Trace:
+    """A random-walk trace with sparse small LLM calls.
+
+    Positions move at most one tile per step (Manhattan), so the §3.2
+    movement-speed assumption holds by construction.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    positions = np.zeros((n_agents, n_steps + 1, 2), dtype=np.int16)
+    positions[:, 0, 0] = rng.integers(0, width, n_agents)
+    positions[:, 0, 1] = rng.integers(0, height, n_agents)
+    moves = np.array([(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)])
+    for s in range(n_steps):
+        step_moves = moves[rng.integers(0, len(moves), n_agents)]
+        nxt = positions[:, s, :].astype(np.int32) + step_moves
+        nxt[:, 0] = np.clip(nxt[:, 0], 0, width - 1)
+        nxt[:, 1] = np.clip(nxt[:, 1], 0, height - 1)
+        positions[:, s + 1, :] = nxt
+    steps, agents, funcs, ins, outs = [], [], [], [], []
+    for aid in range(n_agents):
+        for s in range(n_steps):
+            if rng.random() < p_call:
+                for _ in range(int(rng.integers(1, max_chain + 1))):
+                    steps.append(s)
+                    agents.append(aid)
+                    funcs.append(int(rng.integers(0, 10)))
+                    ins.append(int(rng.integers(32, 128)))
+                    outs.append(int(rng.integers(2, 8)))
+    meta = TraceMeta(n_agents=n_agents, n_steps=n_steps, seed=seed,
+                     width=width, height=height, radius_p=radius_p)
+    return Trace(meta, positions,
+                 np.asarray(steps, dtype=np.int32),
+                 np.asarray(agents, dtype=np.int32),
+                 np.asarray(funcs, dtype=np.int16),
+                 np.asarray(ins, dtype=np.int32),
+                 np.asarray(outs, dtype=np.int32))

@@ -1,0 +1,98 @@
+"""Tests for the benchmark harness (runner, report, experiments, CLI)."""
+
+import pytest
+
+from repro.bench import (EXPERIMENTS, bounds_for, format_table, hour_window,
+                         run_experiment, run_policies)
+from repro.bench.cli import main as cli_main
+from repro.bench.report import format_series
+from repro.bench.runner import PLATFORMS, serving_for
+from repro.errors import ConfigError
+
+
+class TestServingFor:
+    def test_platforms_exist(self):
+        assert {"l4-8b", "a100-70b", "a100-mixtral"} == set(PLATFORMS)
+
+    def test_dp_tp_split(self):
+        cfg = serving_for("a100-70b", 8)
+        assert cfg.dp == 2 and cfg.tp == 4
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            serving_for("a100-70b", 6)
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigError):
+            serving_for("tpu-v9", 8)
+
+
+class TestRunnerPieces:
+    def test_run_policies_shapes(self, synthetic_trace):
+        out = run_policies(synthetic_trace, "l4-8b", 1,
+                           ["parallel-sync", "metropolis"])
+        assert set(out) == {"parallel-sync", "metropolis"}
+        assert out["metropolis"].completion_time > 0
+
+    def test_bounds(self, synthetic_trace):
+        b = bounds_for(synthetic_trace, "l4-8b", 1)
+        assert b["gpu-limit"] == max(b["critical"], b["no-dependency"])
+
+    def test_hour_window(self, day_trace):
+        w = hour_window(day_trace, 12)
+        assert w.meta.n_steps == 360
+        assert w.meta.base_step == 12 * 360
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], ["x", "y"]],
+                           note="n")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.5" in out and "(n)" in out
+
+    def test_format_series(self):
+        out = format_series("S", [25, 100], {"m": [1.0, 2.0]})
+        assert "25" in out and "100" in out and "m" in out
+
+
+class TestExperiments:
+    def test_registry_covers_every_figure_and_table(self):
+        needed = {"fig1", "fig2", "fig4a", "fig4b", "fig4c",
+                  "fig5", "fig6", "fig7", "table1"}
+        assert needed <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_fig4c_shape(self):
+        result = run_experiment("fig4c", full=False)
+        per_hour = result.data["calls_per_hour"]
+        assert len(per_hour) == 24
+        assert per_hour[2] == 0  # asleep
+        assert per_hour[12] > per_hour[6]
+        assert "fig4c" in result.table
+
+    def test_fig2_sparsity(self):
+        result = run_experiment("fig2", full=False)
+        assert 1.0 <= result.data["mean_dependency_agents"] <= 4.0
+
+    def test_fig1_renders(self):
+        result = run_experiment("fig1", full=False)
+        assert "agent" in result.table
+        assert result.data["events"] > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "table1" in out
+
+    def test_run_writes_output(self, tmp_path, capsys):
+        assert cli_main(["run", "fig4c", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4c.txt").exists()
+        assert "fig4c" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for §3.4 geo-clustering and the spatial index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import (SpatialIndex, brute_force_clustering,
+                                   geo_clustering)
+from repro.core.space import EuclideanSpace, GraphSpace
+
+
+class TestSpatialIndex:
+    def setup_method(self):
+        self.idx = SpatialIndex(EuclideanSpace(), cell=5.0)
+
+    def test_insert_and_query(self):
+        self.idx.insert("a", (0, 0))
+        self.idx.insert("b", (3, 4))
+        self.idx.insert("c", (30, 30))
+        assert sorted(self.idx.query((0, 0), 5.0)) == ["a", "b"]
+
+    def test_query_inclusive_boundary(self):
+        self.idx.insert("a", (5, 0))
+        assert self.idx.query((0, 0), 5.0) == ["a"]
+        assert self.idx.query((0, 0), 4.999) == []
+
+    def test_move(self):
+        self.idx.insert("a", (0, 0))
+        self.idx.move("a", (50, 50))
+        assert self.idx.query((0, 0), 10.0) == []
+        assert self.idx.query((50, 50), 1.0) == ["a"]
+
+    def test_remove(self):
+        self.idx.insert("a", (0, 0))
+        self.idx.remove("a")
+        assert "a" not in self.idx
+        assert len(self.idx) == 0
+
+    def test_reinsert_replaces(self):
+        self.idx.insert("a", (0, 0))
+        self.idx.insert("a", (20, 20))
+        assert len(self.idx) == 1
+        assert self.idx.position("a") == (20, 20)
+
+    def test_bad_cell(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(EuclideanSpace(), cell=0)
+
+    def test_graph_space_linear_scan(self):
+        adj = {i: [i + 1] for i in range(5)}
+        adj[5] = []
+        for k in adj:
+            adj[k] = list(adj[k]) + [k - 1] if k > 0 else list(adj[k])
+        idx = SpatialIndex(GraphSpace(adj), cell=1.0)
+        idx.insert("x", 0)
+        idx.insert("y", 3)
+        assert idx.query(0, 3.0) == ["x", "y"] or \
+            sorted(idx.query(0, 3.0)) == ["x", "y"]
+        assert idx.query(0, 1.0) == ["x"]
+
+
+class TestGeoClustering:
+    def test_singletons_when_far(self):
+        clusters = geo_clustering(
+            [0, 1, 2], [(0, 0), (100, 0), (200, 0)], EuclideanSpace(), 5.0)
+        assert clusters == [[0], [1], [2]]
+
+    def test_pairs_within_threshold(self):
+        clusters = geo_clustering(
+            [0, 1, 2], [(0, 0), (3, 0), (100, 0)], EuclideanSpace(), 5.0)
+        assert clusters == [[0, 1], [2]]
+
+    def test_transitive_chaining(self):
+        # 0-1 close, 1-2 close, 0-2 far: all one cluster.
+        clusters = geo_clustering(
+            [0, 1, 2], [(0, 0), (4, 0), (8, 0)], EuclideanSpace(), 5.0)
+        assert clusters == [[0, 1, 2]]
+
+    def test_empty(self):
+        assert geo_clustering([], [], EuclideanSpace(), 5.0) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            geo_clustering([0, 1], [(0, 0)], EuclideanSpace(), 5.0)
+
+    def test_every_agent_exactly_once(self):
+        ids = list(range(10))
+        positions = [(i * 3, 0) for i in ids]
+        clusters = geo_clustering(ids, positions, EuclideanSpace(), 5.0)
+        flattened = sorted(aid for c in clusters for aid in c)
+        assert flattened == ids
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(1, 40),
+           threshold=st.floats(0.5, 12.0))
+    def test_matches_brute_force(self, seed, n, threshold):
+        from repro._util import FastRng
+        rng = FastRng(seed)
+        ids = list(range(n))
+        positions = [(rng.integers(0, 40), rng.integers(0, 40))
+                     for _ in range(n)]
+        space = EuclideanSpace()
+        fast = geo_clustering(ids, positions, space, threshold)
+        slow = brute_force_clustering(ids, positions, space, threshold)
+        assert fast == slow

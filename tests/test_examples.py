@@ -1,0 +1,51 @@
+"""Every shipped example must run end-to-end (scaled down where slow)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "metropolis" in out
+    assert "vs parallel-sync" in out
+
+
+def test_dependency_graph_demo():
+    out = _run("dependency_graph_demo.py")
+    assert "BLOCKED" in out
+    assert "validity condition" in out
+
+
+def test_social_network():
+    out = _run("social_network.py")
+    assert "disconnected communities" in out
+    assert "validity condition" in out
+
+
+def test_live_simulation():
+    out = _run("live_simulation.py", "--agents", "5", "--steps", "40")
+    assert "identical across schedulers" in out
+
+
+def test_scaling_study():
+    out = _run("scaling_study.py", "--agents", "25", "--gpus", "2")
+    assert "metropolis" in out
+
+
+def test_smallville_day():
+    out = _run("smallville_day.py", "--hours", "1", "--gpus", "1")
+    assert "trace characterization" in out
+    assert "execution timeline" in out

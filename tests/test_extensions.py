@@ -1,0 +1,116 @@
+"""Tests for the paper-motivated extensions: prefix caching (§4.1 note),
+interactive/hybrid scheduling (§6), and the §3.1 worker pool."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SchedulerConfig, ServingConfig
+from repro.core import run_replay
+from repro.devent import Kernel
+from repro.errors import ConfigError
+from repro.serving import ServingEngine
+
+
+class TestPrefixCache:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(prefix_cache_hit_rate=1.0)
+        with pytest.raises(ConfigError):
+            ServingConfig(prefix_cache_hit_rate=-0.1)
+
+    def test_cache_shortens_prefill(self):
+        def makespan(hit):
+            k = Kernel()
+            engine = ServingEngine(k, ServingConfig(
+                model="llama3-8b", gpu="l4", prefix_cache_hit_rate=hit))
+            for _ in range(4):
+                engine.generate(1200, 4)
+            k.run()
+            return engine.metrics.last_finish
+
+        assert makespan(0.6) < makespan(0.0)
+
+    def test_cache_speeds_up_replay(self, morning_trace):
+        def run(hit):
+            return run_replay(
+                morning_trace, SchedulerConfig(policy="metropolis"),
+                ServingConfig(model="llama3-8b", gpu="l4",
+                              prefix_cache_hit_rate=hit)).completion_time
+
+        base = run(0.0)
+        cached = run(0.5)
+        assert cached < base
+        # Prefill is a minority of request time: the gain is bounded.
+        assert cached > 0.5 * base
+
+    def test_kv_reservation_unchanged(self):
+        # The cache discounts compute, not memory (conservative).
+        k = Kernel()
+        engine = ServingEngine(k, ServingConfig(
+            model="llama3-8b", gpu="l4", prefix_cache_hit_rate=0.9))
+        request = engine.generate(1000, 10)
+        k.run()
+        assert engine.replicas[0].kv.reserved_tokens == 0  # released
+        assert request.prompt_tokens == 1000  # untouched
+
+
+class TestInteractiveScheduling:
+    def test_latencies_tracked(self, synthetic_trace, l4_serving):
+        result = run_replay(
+            synthetic_trace,
+            SchedulerConfig(policy="metropolis", interactive_agents=(0,)),
+            l4_serving)
+        lat = result.driver_stats.extra["interactive_latencies"]
+        assert len(lat) == synthetic_trace.meta.n_steps
+        assert all(v >= 0 for v in lat)
+
+    def test_no_tracking_without_agents(self, synthetic_trace, l4_serving):
+        result = run_replay(
+            synthetic_trace, SchedulerConfig(policy="metropolis"),
+            l4_serving)
+        assert result.driver_stats.extra["interactive_latencies"] == []
+
+    def test_boost_preserves_completion_of_all_tasks(self, synthetic_trace,
+                                                     l4_serving):
+        result = run_replay(
+            synthetic_trace,
+            SchedulerConfig(policy="metropolis", interactive_agents=(0, 1),
+                            num_workers=2),
+            l4_serving)
+        assert result.n_calls_completed == synthetic_trace.n_calls
+
+    def test_boosted_requests_carry_negative_priority(self, synthetic_trace,
+                                                      l4_serving):
+        result = run_replay(
+            synthetic_trace,
+            SchedulerConfig(policy="metropolis", interactive_agents=(0,)),
+            l4_serving)
+        assert any(r.priority < 0 for r in result.engine_metrics.records)
+
+    def test_boost_off_measures_only(self, synthetic_trace, l4_serving):
+        result = run_replay(
+            synthetic_trace,
+            SchedulerConfig(policy="metropolis", interactive_agents=(0,),
+                            interactive_boost=False),
+            l4_serving)
+        assert all(r.priority >= 0 for r in result.engine_metrics.records)
+        assert result.driver_stats.extra["interactive_latencies"]
+
+
+class TestOracleWorkerPool:
+    def test_capped_oracle_completes(self, synthetic_trace, l4_serving):
+        result = run_replay(
+            synthetic_trace,
+            SchedulerConfig(policy="oracle", num_workers=1),
+            l4_serving)
+        assert result.n_calls_completed == synthetic_trace.n_calls
+
+    def test_cap_slows_oracle(self, morning_trace, l4_serving):
+        free = run_replay(morning_trace,
+                          SchedulerConfig(policy="oracle", num_workers=0),
+                          l4_serving)
+        capped = run_replay(morning_trace,
+                            SchedulerConfig(policy="oracle", num_workers=1),
+                            l4_serving)
+        assert capped.completion_time > free.completion_time

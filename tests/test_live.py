@@ -1,0 +1,132 @@
+"""Tests for the live (threaded) engine: workers, transactions, and the
+OOO == lock-step equivalence under real concurrency."""
+
+import threading
+
+import pytest
+
+from repro.config import DependencyConfig, SchedulerConfig
+from repro.errors import SchedulingError
+from repro.live import (EchoLLMClient, Environment, LiveSimulation,
+                        ThrottledLLMClient)
+from repro.live.environment import BehaviorProgram
+from repro.world import BehaviorModel, build_smallville, make_personas
+
+
+def _program(n_agents=5, seed=4):
+    world, homes = build_smallville()
+    personas = make_personas(n_agents, seed=seed, homes=homes)
+    return BehaviorProgram(BehaviorModel(world, personas, seed=seed))
+
+
+class TestClients:
+    def test_echo_counts(self):
+        c = EchoLLMClient()
+        c.complete("hi", 5)
+        c.complete("hi", 5)
+        assert c.completed_calls() == 2
+
+    def test_throttled_latency_and_slots(self):
+        c = ThrottledLLMClient(base_latency=0.001, per_token=0.0, slots=2)
+        results = []
+
+        def call():
+            results.append(c.complete("p", 4))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert c.calls == 4
+
+
+class TestLiveSimulation:
+    def test_rejects_bad_target(self):
+        sim = LiveSimulation(_program(), EchoLLMClient())
+        with pytest.raises(SchedulingError):
+            sim.run(0)
+
+    def test_ooo_run_completes(self):
+        client = EchoLLMClient()
+        sim = LiveSimulation(_program(), client, num_workers=3)
+        result = sim.run(target_step=40)
+        assert result.clusters_executed >= 40  # at least one per agent-step
+        assert result.max_step_spread >= 0
+        assert len(result.final_positions) == 5
+
+    def test_store_reflects_final_steps(self):
+        sim = LiveSimulation(_program(), EchoLLMClient(), num_workers=2)
+        sim.run(target_step=25)
+        for aid in range(5):
+            assert sim.store.hget(f"agent:{aid}", "step") == 25
+        assert sim.store.get("commits") == sim._stats.clusters_executed
+
+    def test_lockstep_mode(self):
+        sim = LiveSimulation(
+            _program(), EchoLLMClient(),
+            scheduler=SchedulerConfig(policy="parallel-sync"),
+            num_workers=2)
+        result = sim.run(target_step=15)
+        assert result.clusters_executed == 15  # one global cluster per step
+
+    def test_worker_exception_surfaces(self):
+        class Exploding:
+            n_agents = 2
+
+            def position(self, aid):
+                return (aid * 50, 0)
+
+            def execute(self, step, ids, client):
+                raise RuntimeError("boom")
+
+        sim = LiveSimulation(Exploding(), EchoLLMClient(), num_workers=1)
+        with pytest.raises(SchedulingError, match="boom"):
+            sim.run(target_step=3)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_ooo_equals_lockstep_world_state(self, workers):
+        """The paper's correctness claim under real threads."""
+        target = 60
+        # Lock-step reference on a fresh, identically-seeded world.
+        ref = _program(n_agents=6, seed=9)
+        for step in range(target):
+            ref.model.step_all(step)
+        ref_state = [(a.pos, a.awake, a.activity, len(a.memory))
+                     for a in ref.model.agents]
+
+        ooo = _program(n_agents=6, seed=9)
+        sim = LiveSimulation(ooo, EchoLLMClient(), num_workers=workers)
+        sim.run(target_step=target)
+        ooo_state = [(a.pos, a.awake, a.activity, len(a.memory))
+                     for a in ooo.model.agents]
+        assert ooo_state == ref_state
+
+    def test_equivalence_with_wallclock_latency(self):
+        """Racy timing (ThrottledLLMClient) must not change the outcome."""
+        target = 30
+        ref = _program(n_agents=4, seed=2)
+        for step in range(target):
+            ref.model.step_all(step)
+        ref_positions = [a.pos for a in ref.model.agents]
+
+        ooo = _program(n_agents=4, seed=2)
+        client = ThrottledLLMClient(base_latency=0.0005, per_token=0.0)
+        LiveSimulation(ooo, client, num_workers=4).run(target_step=target)
+        assert [a.pos for a in ooo.model.agents] == ref_positions
+
+
+class TestEnvironment:
+    def test_gym_like_run(self):
+        env = Environment(_program(), EchoLLMClient(), num_workers=2)
+        result = env.run(target_step=20)
+        assert result.target_step == 20
+        assert result.wall_time >= 0.0
+
+    def test_priority_off_still_correct(self):
+        env = Environment(
+            _program(n_agents=4, seed=6), EchoLLMClient(),
+            scheduler=SchedulerConfig(priority=False), num_workers=2)
+        result = env.run(target_step=20)
+        assert result.clusters_executed > 0

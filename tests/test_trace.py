@@ -1,0 +1,211 @@
+"""Tests for the trace schema, generation, io and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.config import STEPS_PER_HOUR
+from repro.errors import TraceError
+from repro.trace import (Trace, compute_stats, export_jsonl,
+                         generate_concatenated_trace, generate_trace,
+                         import_jsonl, load_trace, save_trace)
+from repro.trace.schema import TraceMeta, concat_traces
+
+from helpers import random_trace
+
+
+class TestTraceSchema:
+    def test_shapes_validated(self):
+        meta = TraceMeta(n_agents=2, n_steps=5, seed=0, width=10, height=10)
+        with pytest.raises(TraceError):
+            Trace(meta, np.zeros((2, 4, 2), dtype=np.int16),
+                  *[np.zeros(0, dtype=np.int32)] * 5)
+
+    def test_call_bounds_validated(self):
+        meta = TraceMeta(n_agents=2, n_steps=5, seed=0, width=10, height=10)
+        pos = np.zeros((2, 6, 2), dtype=np.int16)
+        bad_step = np.array([7], dtype=np.int32)
+        ok = np.array([0], dtype=np.int32)
+        with pytest.raises(TraceError):
+            Trace(meta, pos, bad_step, ok, ok.astype(np.int16), ok + 10,
+                  ok + 1)
+
+    def test_zero_output_rejected(self):
+        meta = TraceMeta(n_agents=1, n_steps=2, seed=0, width=5, height=5)
+        pos = np.zeros((1, 3, 2), dtype=np.int16)
+        z = np.array([0], dtype=np.int32)
+        with pytest.raises(TraceError):
+            Trace(meta, pos, z, z, z.astype(np.int16), z + 10, z)
+
+    def test_speed_limit_enforced(self):
+        meta = TraceMeta(n_agents=1, n_steps=1, seed=0, width=10, height=10)
+        pos = np.zeros((1, 2, 2), dtype=np.int16)
+        pos[0, 1] = (3, 0)  # jumped 3 tiles
+        with pytest.raises(TraceError):
+            Trace(meta, pos, *[np.zeros(0, dtype=np.int32)] * 5)
+
+    def test_chain_order_preserved(self, synthetic_trace):
+        t = synthetic_trace
+        for aid in range(t.meta.n_agents):
+            for step in range(t.meta.n_steps):
+                sl = t.chain_slice(aid, step)
+                assert np.all(t.call_agent[sl] == aid)
+                assert np.all(t.call_step[sl] == step)
+
+    def test_chain_lengths_total(self, synthetic_trace):
+        assert synthetic_trace.chain_lengths().sum() == \
+            synthetic_trace.n_calls
+
+    def test_pos_accessor(self, synthetic_trace):
+        x, y = synthetic_trace.pos(0, 0)
+        assert isinstance(x, int) and isinstance(y, int)
+
+    def test_window_slices_calls_and_positions(self, synthetic_trace):
+        t = synthetic_trace
+        w = t.window(10, 30)
+        assert w.meta.n_steps == 20
+        assert w.meta.base_step == 10
+        assert w.positions.shape == (t.meta.n_agents, 21, 2)
+        assert np.array_equal(w.positions[:, 0], t.positions[:, 10])
+        mask = (t.call_step >= 10) & (t.call_step < 30)
+        assert w.n_calls == int(mask.sum())
+
+    def test_window_bad_range(self, synthetic_trace):
+        with pytest.raises(TraceError):
+            synthetic_trace.window(30, 10)
+        with pytest.raises(TraceError):
+            synthetic_trace.window(0, 10_000)
+
+    def test_concat_offsets_positions(self):
+        a = random_trace(seed=1, n_agents=3, n_steps=10)
+        b = random_trace(seed=2, n_agents=3, n_steps=10)
+        c = concat_traces([a, b], x_stride=100)
+        assert c.meta.n_agents == 6
+        assert c.meta.segments == 2
+        assert np.array_equal(c.positions[:3, :, 0], a.positions[:, :, 0])
+        assert np.array_equal(c.positions[3:, :, 0],
+                              b.positions[:, :, 0] + 100)
+        assert c.n_calls == a.n_calls + b.n_calls
+
+    def test_concat_requires_same_steps(self):
+        a = random_trace(seed=1, n_steps=10)
+        b = random_trace(seed=2, n_steps=20)
+        with pytest.raises(TraceError):
+            concat_traces([a, b], x_stride=100)
+
+    def test_concat_empty(self):
+        with pytest.raises(TraceError):
+            concat_traces([], x_stride=10)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_trace(4, 300, seed=5)
+        b = generate_trace(4, 300, seed=5)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.call_in, b.call_in)
+
+    def test_seed_changes_output(self):
+        a = generate_trace(4, 2600, seed=5)
+        b = generate_trace(4, 2600, seed=6)
+        assert not (np.array_equal(a.positions, b.positions)
+                    and np.array_equal(a.call_in, b.call_in))
+
+    def test_needs_agents(self):
+        with pytest.raises(TraceError):
+            generate_trace(0, 10)
+
+    def test_concatenated_sizes(self):
+        t = generate_concatenated_trace(60, n_steps=50)
+        assert t.meta.n_agents == 60
+        assert t.meta.segments == 3  # 25 + 25 + 10
+        # Segments are spatially disjoint.
+        assert t.positions[:25, :, 0].max() < 141
+        assert t.positions[25:50, :, 0].min() >= 141
+
+    def test_small_request_single_ville(self):
+        t = generate_concatenated_trace(10, n_steps=50)
+        assert t.meta.segments == 1
+
+
+class TestTraceIO:
+    def test_npz_roundtrip(self, synthetic_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(synthetic_trace, path)
+        loaded = load_trace(path)
+        assert loaded.meta == synthetic_trace.meta
+        assert np.array_equal(loaded.positions, synthetic_trace.positions)
+        assert np.array_equal(loaded.call_in, synthetic_trace.call_in)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_jsonl_roundtrip(self, synthetic_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        export_jsonl(synthetic_trace, path)
+        loaded = import_jsonl(path)
+        assert loaded.meta.n_agents == synthetic_trace.meta.n_agents
+        assert loaded.n_calls == synthetic_trace.n_calls
+        assert np.array_equal(loaded.positions,
+                              synthetic_trace.positions.astype(np.int32))
+        assert np.array_equal(np.sort(loaded.call_in),
+                              np.sort(synthetic_trace.call_in))
+
+    def test_jsonl_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "call", "step": 0, "agent": 0, '
+                        '"func": "utterance", "input_tokens": 5, '
+                        '"output_tokens": 2}\n')
+        with pytest.raises(TraceError):
+            import_jsonl(path)
+
+
+class TestStats:
+    def test_basic_fields(self, morning_trace):
+        s = compute_stats(morning_trace)
+        assert s.total_calls == morning_trace.n_calls
+        assert s.n_agents == morning_trace.meta.n_agents
+        assert 0 < s.idle_fraction < 1
+        assert s.mean_chain_length >= 1.0
+
+    def test_calls_per_hour_sums(self, morning_trace):
+        s = compute_stats(morning_trace)
+        assert int(s.calls_per_hour.sum()) == s.total_calls
+
+    def test_empty_window(self, day_trace):
+        night = day_trace.window(60, 120)  # ~00:10-00:20, all asleep
+        s = compute_stats(night)
+        assert s.total_calls == 0
+        assert s.mean_input_tokens == 0.0
+
+
+class TestDayCalibration:
+    """The generated day must match the paper's published trace statistics
+    (§4.1) within reproduction tolerance."""
+
+    def test_total_calls(self, day_trace):
+        s = compute_stats(day_trace)
+        assert 45_000 <= s.total_calls <= 70_000  # paper: 56.7k
+
+    def test_token_means(self, day_trace):
+        s = compute_stats(day_trace)
+        assert 550 <= s.mean_input_tokens <= 750  # paper: 642.6
+        assert 15 <= s.mean_output_tokens <= 30  # paper: 21.9
+
+    def test_dependency_sparsity(self, day_trace):
+        s = compute_stats(day_trace)
+        assert 1.2 <= s.mean_dependency_agents <= 2.6  # paper: 1.85
+
+    def test_diurnal_shape(self, day_trace):
+        s = compute_stats(day_trace)
+        hours = s.calls_per_hour
+        assert hours[1] == hours[2] == hours[3] == 0  # asleep 1-4am
+        assert 400 <= hours[6] <= 1400  # quiet hour, paper ~800
+        assert 3000 <= hours[12] <= 6500  # busy hour, paper ~5000
+        assert hours[12] > hours[6]
+
+    def test_chains_heavy_tailed(self, day_trace):
+        lengths = day_trace.chain_lengths()
+        busy = lengths[lengths > 0]
+        assert busy.max() >= 10  # conversations produce long chains
+        assert np.percentile(busy, 50) <= 4  # most steps are short
