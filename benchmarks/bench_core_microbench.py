@@ -6,8 +6,6 @@ simulator's event throughput — the operations whose cost the paper's C++
 controller minimizes.
 """
 
-import numpy as np
-
 from repro._util import FastRng
 from repro.config import DependencyConfig, SchedulerConfig, ServingConfig
 from repro.core import DependencyRules, run_replay

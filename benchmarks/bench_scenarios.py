@@ -1,0 +1,30 @@
+"""Per-scenario replay microbenchmarks.
+
+Times the metropolis driver over each registered scenario's active
+window — the same workload the ``repro-bench smoke`` CI gate replays —
+so a scheduler change that regresses one world's shape (dense rush-hour
+clusters, long-range blocking cones) shows up as a per-scenario number,
+not an average.
+"""
+
+import pytest
+
+from repro.bench.runner import serving_for
+from repro.bench.smoke import scenario_window_trace
+from repro.config import SchedulerConfig
+from repro.core import run_replay
+from repro.scenarios import scenario_names
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_metropolis_replay_per_scenario(benchmark, scenario):
+    trace = scenario_window_trace(scenario)
+    serving = serving_for("l4-8b", 1)
+
+    def replay():
+        return run_replay(
+            trace, SchedulerConfig(policy="metropolis", scenario=scenario),
+            serving)
+
+    result = benchmark(replay)
+    assert result.n_calls_completed == trace.n_calls

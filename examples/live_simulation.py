@@ -1,44 +1,36 @@
 """Live (wall-clock) execution: the deployable engine.
 
-Runs the SmallVille world with real threads against a throttled fake LLM
-backend, comparing lock-step against out-of-order control (the same
-Algorithm 3 the virtual-time benches model, but with actual worker
-threads, a transactional KV store, and blocking LLM calls). It also
-verifies the headline correctness property: both runs end in the
-identical world state.
+Runs any registered scenario's world with real threads against a
+throttled fake LLM backend, comparing lock-step against out-of-order
+control (the same Algorithm 3 the virtual-time benches model, but with
+actual worker threads, a transactional KV store, and blocking LLM
+calls). It also verifies the headline correctness property: both runs
+end in the identical world state.
 
 Run:  python examples/live_simulation.py [--agents 8] [--steps 120]
+                                         [--scenario metro-grid]
 """
 
 import argparse
 
 from repro.config import SchedulerConfig
 from repro.live import LiveSimulation, ThrottledLLMClient
-from repro.live.environment import BehaviorProgram
-from repro.world import BehaviorModel, build_smallville, make_personas
+from repro.live.environment import program_for_scenario
+from repro.scenarios import get_scenario, scenario_names
 
 
-def make_program(n_agents: int, seed: int) -> BehaviorProgram:
-    world, homes = build_smallville()
-    personas = make_personas(n_agents, seed=seed, homes=homes)
-    return BehaviorProgram(BehaviorModel(world, personas, seed=seed))
-
-
-#: 7:10am — agents are awake, planning, and walking to work.
-WARMUP_STEP = 2580
-
-
-def run(policy: str, n_agents: int, steps: int, seed: int):
-    program = make_program(n_agents, seed)
-    for step in range(WARMUP_STEP):  # fast-forward the quiet night
+def run(scenario: str, policy: str, n_agents: int, steps: int, seed: int,
+        warmup: int):
+    program = program_for_scenario(scenario, n_agents, seed)
+    for step in range(warmup):  # fast-forward the quiet night
         program.model.step_all(step)
     client = ThrottledLLMClient(base_latency=0.003, per_token=0.0001,
                                 slots=8)
     sim = LiveSimulation(program, client,
-                         scheduler=SchedulerConfig(policy=policy),
+                         scheduler=SchedulerConfig(policy=policy,
+                                                   scenario=scenario),
                          num_workers=8)
-    result = sim.run(target_step=WARMUP_STEP + steps,
-                     start_step=WARMUP_STEP)
+    result = sim.run(target_step=warmup + steps, start_step=warmup)
     return program, client, result
 
 
@@ -47,17 +39,21 @@ def main() -> None:
     parser.add_argument("--agents", type=int, default=8)
     parser.add_argument("--steps", type=int, default=120)
     parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument("--scenario", default="smallville",
+                        choices=scenario_names())
     args = parser.parse_args()
 
-    # Start mid-morning commute (persona wake steps are ~6-8am) by running
-    # the window where the world is busiest for its size.
-    print(f"live run: {args.agents} agents, {args.steps} steps, "
-          f"8 worker threads, throttled fake LLM backend\n")
+    # Start in the scenario's active morning window (agents awake,
+    # planning, and walking) — the busiest regime for the world's size.
+    warmup = get_scenario(args.scenario).active_window[0]
+    print(f"live run: {args.scenario}, {args.agents} agents, "
+          f"{args.steps} steps, 8 worker threads, throttled fake LLM "
+          f"backend\n")
 
     runs = {}
     for policy in ("parallel-sync", "metropolis"):
-        program, client, result = run(policy, args.agents, args.steps,
-                                      args.seed)
+        program, client, result = run(args.scenario, policy, args.agents,
+                                      args.steps, args.seed, warmup)
         runs[policy] = (program, result)
         print(f"{policy:<15} wall={result.wall_time:>6.2f}s  "
               f"clusters={result.clusters_executed:>5}  "

@@ -1,28 +1,38 @@
 """Quickstart: replay one busy hour under every scheduler.
 
-Generates (or loads from cache) the standard 25-agent SmallVille day,
-slices the 12-1pm busy hour, and replays it against a simulated
+Generates (or loads from cache) a standard one-segment day of the chosen
+scenario, slices its busy hour, and replays it against a simulated
 1x NVIDIA L4 + Llama-3-8B deployment under each scheduling policy —
-the paper's core comparison in one script.
+the paper's core comparison in one script, on any registered world.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--scenario metro-grid]
 """
 
-from repro import (SchedulerConfig, ServingConfig, STEPS_PER_HOUR,
-                   cached_day_trace, critical_time_for, run_replay)
+import argparse
+
+from repro import (STEPS_PER_HOUR, SchedulerConfig, ServingConfig,
+                   cached_day_trace, critical_time_for, get_scenario,
+                   run_replay, scenario_names)
 
 
 def main() -> None:
-    day = cached_day_trace(seed=0)
-    busy = day.window(12 * STEPS_PER_HOUR, 13 * STEPS_PER_HOUR)
-    print(f"busy hour: {busy.n_calls} LLM calls, "
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scenario", default="smallville",
+                        choices=scenario_names())
+    args = parser.parse_args()
+
+    scn = get_scenario(args.scenario)
+    day = cached_day_trace(seed=0, scenario=scn)
+    busy = day.window(scn.busy_hour * STEPS_PER_HOUR,
+                      (scn.busy_hour + 1) * STEPS_PER_HOUR)
+    print(f"{scn.name} busy hour: {busy.n_calls} LLM calls, "
           f"{busy.meta.n_agents} agents, {busy.meta.n_steps} steps")
 
     serving = ServingConfig(model="llama3-8b", gpu="l4", dp=1)
     results = {}
     for policy in ("single-thread", "parallel-sync", "metropolis", "oracle"):
         results[policy] = run_replay(
-            busy, SchedulerConfig(policy=policy), serving)
+            busy, SchedulerConfig(policy=policy, scenario=scn.name), serving)
 
     critical = critical_time_for(busy, serving)
     baseline = results["parallel-sync"].completion_time

@@ -1,16 +1,19 @@
 """Scaling study: the §4.3 experiment at adjustable scale.
 
-Concatenates SmallVilles to grow the agent population, then measures how
-each scheduler's busy-hour completion time scales and where it sits
-against the hardware bound — the paper's Figure 5 methodology.
+Concatenates map segments of any registered scenario to grow the agent
+population, then measures how each scheduler's busy-hour completion time
+scales and where it sits against the hardware bound — the paper's
+Figure 5 methodology, on any world.
 
 Run:  python examples/scaling_study.py [--agents 25 50 100] [--gpus 4]
+                                       [--scenario market-town]
 """
 
 import argparse
 
 from repro import STEPS_PER_HOUR, generate_concatenated_trace
 from repro.bench import bounds_for, run_policies
+from repro.scenarios import get_scenario, scenario_names
 
 
 def main() -> None:
@@ -18,19 +21,25 @@ def main() -> None:
     parser.add_argument("--agents", type=int, nargs="+",
                         default=[25, 50, 100])
     parser.add_argument("--gpus", type=int, default=4)
-    parser.add_argument("--hour", type=int, default=12,
-                        help="simulated hour to replay (12 = busy hour)")
+    parser.add_argument("--scenario", default="smallville",
+                        choices=scenario_names())
+    parser.add_argument("--hour", type=int, default=None,
+                        help="simulated hour to replay (default: the "
+                             "scenario's busy hour)")
     args = parser.parse_args()
 
+    scn = get_scenario(args.scenario)
+    hour = args.hour if args.hour is not None else scn.busy_hour
     policies = ["parallel-sync", "metropolis", "oracle"]
-    print(f"busy-hour scaling on {args.gpus} x L4 (Llama-3-8B)\n")
+    print(f"{scn.name} busy-hour scaling on {args.gpus} x L4 "
+          f"(Llama-3-8B)\n")
     print(f"{'agents':>7} {'calls':>8} | "
           + " ".join(f"{p:>14}" for p in policies)
           + f" {'gpu-limit':>10} {'speedup':>9}")
     for n_agents in args.agents:
-        day = generate_concatenated_trace(n_agents)
-        trace = day.window(args.hour * STEPS_PER_HOUR,
-                           (args.hour + 1) * STEPS_PER_HOUR)
+        day = generate_concatenated_trace(n_agents, scenario=scn)
+        trace = day.window(hour * STEPS_PER_HOUR,
+                           (hour + 1) * STEPS_PER_HOUR)
         outcomes = run_policies(trace, "l4-8b", args.gpus, policies)
         bounds = bounds_for(trace, "l4-8b", args.gpus)
         speedup = (outcomes["parallel-sync"].completion_time

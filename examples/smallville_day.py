@@ -11,7 +11,7 @@ Run:  python examples/smallville_day.py [--hours N] [--gpus 1 8]
 
 import argparse
 
-from repro import (SchedulerConfig, ServingConfig, STEPS_PER_HOUR,
+from repro import (STEPS_PER_HOUR, SchedulerConfig, ServingConfig,
                    cached_day_trace, compute_stats, run_replay)
 from repro.instrument import render_ascii_timeline
 

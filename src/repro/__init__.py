@@ -38,8 +38,10 @@ from .core import (DependencyRules, SimulationResult, critical_path_time,
                    run_replay)
 from .core.engine import critical_time_for
 from .errors import (CapacityError, CausalityViolation, ConfigError,
-                     ReproError, SchedulingError, ServingError, TraceError,
-                     TransactionError, WorldError)
+                     ReproError, ScenarioError, SchedulingError,
+                     ServingError, TraceError, TransactionError, WorldError)
+from .scenarios import (Scenario, ScenarioRegistry, get_scenario,
+                        register_scenario, scenario_names)
 from .serving import ServingEngine
 from .trace import (Trace, cached_day_trace, compute_stats,
                     generate_concatenated_trace, generate_trace, load_trace,
@@ -57,11 +59,14 @@ __all__ = [
     "critical_path_time", "critical_time_for",
     # serving
     "ServingEngine",
+    # scenarios
+    "Scenario", "ScenarioRegistry", "get_scenario", "register_scenario",
+    "scenario_names",
     # traces
     "Trace", "generate_trace", "generate_concatenated_trace",
     "cached_day_trace", "compute_stats", "save_trace", "load_trace",
     # errors
     "ReproError", "ConfigError", "SchedulingError", "CausalityViolation",
     "ServingError", "CapacityError", "TransactionError", "TraceError",
-    "WorldError",
+    "WorldError", "ScenarioError",
 ]

@@ -11,6 +11,7 @@ comparison's shape at CI-friendly cost.
 from .experiments import (EXPERIMENTS, ExperimentResult, run_experiment)
 from .runner import PolicyOutcome, bounds_for, hour_window, run_policies
 from .report import format_table, format_ratio
+from .smoke import run_smoke, scenario_window_trace, smoke_one
 
 __all__ = [
     "EXPERIMENTS",
@@ -22,4 +23,7 @@ __all__ = [
     "hour_window",
     "format_table",
     "format_ratio",
+    "run_smoke",
+    "smoke_one",
+    "scenario_window_trace",
 ]

@@ -3,19 +3,25 @@
 Examples::
 
     repro-bench list
+    repro-bench scenarios
     repro-bench run fig4a
-    repro-bench run fig5 --full
+    repro-bench run fig5 --full --scenario metro-grid
     repro-bench run all --out results/
+    repro-bench smoke --out smoke-report.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from ..errors import ScenarioError
+from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
+from .smoke import run_smoke
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,12 +30,26 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's evaluation figures/tables.")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("scenarios", help="list registered workload scenarios")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
     run.add_argument("--full", action="store_true",
                      help="paper-scale workloads (slow)")
+    run.add_argument("--scenario", default=None, choices=scenario_names(),
+                     help="workload scenario (default: smallville, or "
+                          "REPRO_BENCH_SCENARIO)")
     run.add_argument("--out", type=Path, default=None,
                      help="also write tables to this directory")
+    smoke = sub.add_parser(
+        "smoke", help="tiny per-scenario replay gate (speedup + live "
+                      "OOO-equivalence); CI runs this for every scenario")
+    smoke.add_argument("--scenario", action="append", default=None,
+                       choices=scenario_names(), dest="scenarios",
+                       help="limit to a scenario (repeatable)")
+    smoke.add_argument("--out", type=Path, default=None,
+                       help="write the JSON report here")
+    smoke.add_argument("--skip-live", action="store_true",
+                       help="skip the live-engine equivalence check")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -38,11 +58,27 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<20} {doc_lines[0]}")
         return 0
 
+    if args.command == "scenarios":
+        for name in scenario_names():
+            print(f"{name:<14} {get_scenario(name).description}")
+        return 0
+
+    if args.command == "smoke":
+        try:
+            report = run_smoke(out=args.out, scenarios=args.scenarios,
+                               check_live=not args.skip_live)
+        except ScenarioError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(report, indent=2))
+        return 0
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         started = time.monotonic()
-        result = run_experiment(name, full=args.full)
+        result = run_experiment(name, full=args.full,
+                                scenario=args.scenario)
         elapsed = time.monotonic() - started
         print(result.table)
         print(f"[{name} completed in {elapsed:.1f}s]\n")

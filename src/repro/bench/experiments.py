@@ -18,16 +18,18 @@ from typing import Callable
 from ..config import DependencyConfig, SchedulerConfig
 from ..core import run_replay
 from ..instrument import render_ascii_timeline
+from ..scenarios import get_scenario
 from ..trace import cached_day_trace, compute_stats, generate_concatenated_trace
 from .report import format_series, format_table
 from .runner import bounds_for, hour_window, run_policies, serving_for
 
-BUSY_HOUR = 12  # 12pm-1pm, ~5k calls / 25 agents
-QUIET_HOUR = 6  # 6am-7am, ~800 calls / 25 agents
-
-
 def full_mode_default() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def scenario_default() -> str:
+    """Workload scenario, overridable via ``REPRO_BENCH_SCENARIO``."""
+    return os.environ.get("REPRO_BENCH_SCENARIO", "smallville")
 
 
 @dataclass
@@ -44,14 +46,17 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def _fullday_experiment(name: str, platform: str, gpu_counts_full,
-                        gpu_counts_quick, full: bool) -> ExperimentResult:
+                        gpu_counts_quick, full: bool,
+                        scenario: str) -> ExperimentResult:
     gpus = gpu_counts_full if full else gpu_counts_quick
-    day = cached_day_trace(seed=0)
-    # Quick mode replays a 3-hour slice (11am-2pm) instead of the day.
-    trace = day if full else hour_window(day, 11, n_hours=3)
+    scn = get_scenario(scenario)
+    day = cached_day_trace(seed=0, scenario=scn)
+    # Quick mode replays a 3-hour slice around the busy hour.
+    trace = day if full else hour_window(day, scn.busy_hour - 1, n_hours=3)
     policies = ["single-thread", "parallel-sync", "metropolis", "oracle"]
     rows = []
-    data: dict = {"gpus": list(gpus), "policies": {}, "bounds": {}}
+    data: dict = {"gpus": list(gpus), "policies": {}, "bounds": {},
+                  "scenario": scn.name}
     for policy in policies:
         data["policies"][policy] = {}
     for num_gpus in gpus:
@@ -75,7 +80,8 @@ def _fullday_experiment(name: str, platform: str, gpu_counts_full,
                      "-", "-"])
     table = format_table(
         f"{name}: end-to-end completion time "
-        f"({'full day' if full else '3-hour window'}, 25 agents, {platform})",
+        f"({'full day' if full else '3-hour window'}, "
+        f"{trace.meta.n_agents} agents, {scn.name}, {platform})",
         ["gpus", "policy", "time (s)", "parallelism", "vs metropolis"],
         rows,
         note="paper: metropolis 2.38-3.25x over single-thread, 1.44-1.67x "
@@ -84,33 +90,42 @@ def _fullday_experiment(name: str, platform: str, gpu_counts_full,
     return ExperimentResult(name, table, data)
 
 
-def fig4a(full: bool = False) -> ExperimentResult:
+def fig4a(full: bool = False,
+          scenario: str | None = None) -> ExperimentResult:
     """Fig. 4a: Llama-3-8B on 1-8 NVIDIA L4 GPUs."""
-    return _fullday_experiment("fig4a", "l4-8b", (1, 2, 4, 8), (1, 8), full)
+    return _fullday_experiment("fig4a", "l4-8b", (1, 2, 4, 8), (1, 8), full,
+                               scenario or scenario_default())
 
 
-def fig4b(full: bool = False) -> ExperimentResult:
+def fig4b(full: bool = False,
+          scenario: str | None = None) -> ExperimentResult:
     """Fig. 4b: Llama-3-70B (TP4) on 4/8 NVIDIA A100 GPUs."""
-    return _fullday_experiment("fig4b", "a100-70b", (4, 8), (4,), full)
+    return _fullday_experiment("fig4b", "a100-70b", (4, 8), (4,), full,
+                               scenario or scenario_default())
 
 
-def fig4c(full: bool = False) -> ExperimentResult:
+def fig4c(full: bool = False,
+          scenario: str | None = None) -> ExperimentResult:
     """Fig. 4c: LLM query distribution over the simulated day."""
-    day = cached_day_trace(seed=0)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
     stats = compute_stats(day)
     per_hour = [int(x) for x in stats.calls_per_hour]
     rows = [[h, per_hour[h]] for h in range(24)]
+    busy, quiet = scn.busy_hour, scn.quiet_hour
     table = format_table(
-        "fig4c: LLM calls per simulated hour (25 agents, one day)",
+        f"fig4c: LLM calls per simulated hour "
+        f"({day.meta.n_agents} agents, one {scn.name} day)",
         ["hour", "calls"], rows,
-        note=f"total {stats.total_calls} (paper ~56.7k); busy 12-1pm "
-             f"{per_hour[12]} (~5k); quiet 6-7am {per_hour[6]} (~800); "
-             f"1am-4am asleep: {per_hour[1:4]}")
+        note=f"total {stats.total_calls} (paper ~56.7k on smallville); "
+             f"busy {busy}h {per_hour[busy]} (~5k); quiet {quiet}h "
+             f"{per_hour[quiet]} (~800); 1am-4am asleep: {per_hour[1:4]}")
     return ExperimentResult("fig4c", table, {
         "calls_per_hour": per_hour,
         "total_calls": stats.total_calls,
         "mean_input_tokens": stats.mean_input_tokens,
         "mean_output_tokens": stats.mean_output_tokens,
+        "scenario": scn.name,
     })
 
 
@@ -119,15 +134,17 @@ def fig4c(full: bool = False) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def _scaling_experiment(name: str, platform: str, gpu_counts,
-                        full: bool) -> ExperimentResult:
+                        full: bool, scenario: str) -> ExperimentResult:
+    scn = get_scenario(scenario)
     override = os.environ.get("REPRO_BENCH_AGENTS", "")
     if override:
         agent_counts = tuple(int(x) for x in override.split(","))
     else:
         agent_counts = (25, 100, 500, 1000) if full else (25, 100)
-    hours = {"busy": BUSY_HOUR, "quiet": QUIET_HOUR}
+    hours = {"busy": scn.busy_hour, "quiet": scn.quiet_hour}
     policies = ["parallel-sync", "metropolis", "oracle"]
-    data: dict = {"agents": list(agent_counts), "series": {}}
+    data: dict = {"agents": list(agent_counts), "series": {},
+                  "scenario": scn.name}
     tables = []
     for label, hour in hours.items():
         for num_gpus in gpu_counts:
@@ -135,7 +152,7 @@ def _scaling_experiment(name: str, platform: str, gpu_counts,
             series["gpu-limit"] = []
             speedups = []
             for n_agents in agent_counts:
-                day = generate_concatenated_trace(n_agents)
+                day = generate_concatenated_trace(n_agents, scenario=scn)
                 trace = hour_window(day, hour)
                 outcomes = run_policies(trace, platform, num_gpus, policies)
                 bounds = bounds_for(trace, platform, num_gpus)
@@ -148,8 +165,8 @@ def _scaling_experiment(name: str, platform: str, gpu_counts,
             data["series"][key] = {k: list(v) for k, v in series.items()}
             data["series"][key]["metropolis_speedup"] = speedups
             tables.append(format_series(
-                f"{name} ({label} hour, {num_gpus} GPUs, {platform}): "
-                f"completion time (s) vs agents",
+                f"{name} ({label} hour, {num_gpus} GPUs, {scn.name}, "
+                f"{platform}): completion time (s) vs agents",
                 agent_counts, series))
             tables.append("metropolis speedup over parallel-sync: "
                           + ", ".join(f"{n}: {s:.2f}x" for n, s in
@@ -157,27 +174,33 @@ def _scaling_experiment(name: str, platform: str, gpu_counts,
     return ExperimentResult(name, "\n\n".join(tables), data)
 
 
-def fig5(full: bool = False) -> ExperimentResult:
+def fig5(full: bool = False,
+         scenario: str | None = None) -> ExperimentResult:
     """Fig. 5: busy/quiet hour scaling, Llama-3-8B on L4s."""
     return _scaling_experiment("fig5", "l4-8b", (1, 8) if full else (1,),
-                               full)
+                               full, scenario or scenario_default())
 
 
-def fig6(full: bool = False) -> ExperimentResult:
+def fig6(full: bool = False,
+         scenario: str | None = None) -> ExperimentResult:
     """Fig. 6: busy/quiet hour scaling, Llama-3-70B on 8 A100s."""
-    return _scaling_experiment("fig6", "a100-70b", (8,), full)
+    return _scaling_experiment("fig6", "a100-70b", (8,), full,
+                               scenario or scenario_default())
 
 
-def fig7(full: bool = False) -> ExperimentResult:
+def fig7(full: bool = False,
+         scenario: str | None = None) -> ExperimentResult:
     """Fig. 7: busy/quiet hour scaling, Mixtral-8x7B on 8 A100s."""
-    return _scaling_experiment("fig7", "a100-mixtral", (8,), full)
+    return _scaling_experiment("fig7", "a100-mixtral", (8,), full,
+                               scenario or scenario_default())
 
 
 # ---------------------------------------------------------------------------
 # Table 1: priority-scheduling ablation
 # ---------------------------------------------------------------------------
 
-def table1(full: bool = False) -> ExperimentResult:
+def table1(full: bool = False,
+           scenario: str | None = None) -> ExperimentResult:
     """Table 1: priority-scheduling on/off for metropolis and oracle.
 
     Priority acts through the contended resources of the paper's
@@ -186,14 +209,15 @@ def table1(full: bool = False) -> ExperimentResult:
     based on available CPU resources") so that it binds under the
     500-agent busy-hour load, as on the authors' testbed.
     """
+    scn = get_scenario(scenario or scenario_default())
     n_agents = 500 if full else 100
     gpu_counts = (4, 8) if full else (4,)
     # Sized so the §3.1 worker pool just binds under the busy-hour load
     # (the regime of the authors' CPU-constrained testbed); see the scan
     # in EXPERIMENTS.md — an unbounded pool hides the priority effect.
     num_workers = 24 if full else 12
-    day = generate_concatenated_trace(n_agents)
-    trace = hour_window(day, BUSY_HOUR)
+    day = generate_concatenated_trace(n_agents, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     rows = []
     data: dict = {}
     for policy in ("metropolis", "oracle"):
@@ -220,7 +244,8 @@ def table1(full: bool = False) -> ExperimentResult:
                          round(with_priority.achieved_parallelism, 1),
                          round(without.achieved_parallelism, 1)])
     table = format_table(
-        f"table1: priority scheduling ({n_agents} agents, busy hour, L4)",
+        f"table1: priority scheduling ({n_agents} agents, busy hour, "
+        f"{scn.name}, L4)",
         ["policy", "gpus", "w/ priority (s)", "w/o priority (s)",
          "speedup", "par w/", "par w/o"],
         rows,
@@ -233,12 +258,15 @@ def table1(full: bool = False) -> ExperimentResult:
 # Figures 1-2: trace anatomy
 # ---------------------------------------------------------------------------
 
-def fig1(full: bool = False) -> ExperimentResult:
+def fig1(full: bool = False,
+         scenario: str | None = None) -> ExperimentResult:
     """Fig. 1: per-agent LLM invocation streams under parallel-sync."""
-    day = cached_day_trace(seed=0)
-    start = BUSY_HOUR * 360
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    start = scn.busy_hour * 360
     trace = day.window(start, start + (60 if not full else 180))
-    result = run_replay(trace, SchedulerConfig(policy="parallel-sync"),
+    result = run_replay(trace, SchedulerConfig(policy="parallel-sync",
+                                               scenario=scn.name),
                         serving_for("l4-8b", 1), collect_timeline=True)
     art = render_ascii_timeline(
         result.timeline.events, trace.meta.n_agents, width=100,
@@ -251,11 +279,13 @@ def fig1(full: bool = False) -> ExperimentResult:
     })
 
 
-def fig2(full: bool = False) -> ExperimentResult:
+def fig2(full: bool = False,
+         scenario: str | None = None) -> ExperimentResult:
     """§2.2 dependency statistics behind Figure 2."""
     from ..core.oracle import mean_dependency_count
-    day = cached_day_trace(seed=0)
-    trace = day if full else hour_window(day, 11, n_hours=3)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = day if full else hour_window(day, scn.busy_hour - 1, n_hours=3)
     mean_deps = mean_dependency_count(trace)
     table = format_table(
         "fig2: real vs enforced dependencies",
@@ -270,15 +300,17 @@ def fig2(full: bool = False) -> ExperimentResult:
 # Ablations (design choices called out in DESIGN.md / §6)
 # ---------------------------------------------------------------------------
 
-def ablation_metric(full: bool = False) -> ExperimentResult:
+def ablation_metric(full: bool = False,
+                    scenario: str | None = None) -> ExperimentResult:
     """Distance-metric choice (§6 generality): effect on OOO replay."""
-    day = cached_day_trace(seed=0)
-    trace = hour_window(day, BUSY_HOUR)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     rows = []
     data = {}
     for metric in ("euclidean", "chebyshev", "manhattan"):
         scheduler = SchedulerConfig(
-            policy="metropolis",
+            policy="metropolis", scenario=scn.name,
             dependency=DependencyConfig(metric=metric))
         result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
         data[metric] = result.completion_time
@@ -293,15 +325,17 @@ def ablation_metric(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_metric", table, data)
 
 
-def ablation_radius(full: bool = False) -> ExperimentResult:
+def ablation_radius(full: bool = False,
+                    scenario: str | None = None) -> ExperimentResult:
     """Sensitivity of OOO benefit to the perception radius."""
-    day = cached_day_trace(seed=0)
-    trace = hour_window(day, BUSY_HOUR)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     rows = []
     data = {}
     for radius in (2.0, 4.0, 8.0, 16.0):
         scheduler = SchedulerConfig(
-            policy="metropolis",
+            policy="metropolis", scenario=scn.name,
             dependency=DependencyConfig(radius_p=radius))
         result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
         data[radius] = result.completion_time
@@ -316,10 +350,12 @@ def ablation_radius(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_radius", table, data)
 
 
-def ablation_fidelity(full: bool = False) -> ExperimentResult:
+def ablation_fidelity(full: bool = False,
+                      scenario: str | None = None) -> ExperimentResult:
     """Fluid vs per-iteration serving simulation agreement."""
-    day = cached_day_trace(seed=0)
-    start = BUSY_HOUR * 360
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    start = scn.busy_hour * 360
     trace = day.window(start, start + (360 if full else 90))
     rows = []
     data = {}
@@ -339,14 +375,17 @@ def ablation_fidelity(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_fidelity", table, data)
 
 
-def ablation_workers(full: bool = False) -> ExperimentResult:
+def ablation_workers(full: bool = False,
+                     scenario: str | None = None) -> ExperimentResult:
     """Worker-pool cap (§3.6 scalability of the controller/worker split)."""
-    day = cached_day_trace(seed=0)
-    trace = hour_window(day, BUSY_HOUR)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     rows = []
     data = {}
     for workers in (1, 2, 8, 0):
-        scheduler = SchedulerConfig(policy="metropolis", num_workers=workers)
+        scheduler = SchedulerConfig(policy="metropolis", num_workers=workers,
+                                    scenario=scn.name)
         result = run_replay(trace, scheduler, serving_for("l4-8b", 1))
         label = workers if workers else "unbounded"
         data[str(label)] = result.completion_time
@@ -359,7 +398,8 @@ def ablation_workers(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_workers", table, data)
 
 
-def ablation_interactive(full: bool = False) -> ExperimentResult:
+def ablation_interactive(full: bool = False,
+                         scenario: str | None = None) -> ExperimentResult:
     """§6 hybrid deployment: latency for a player-adjacent agent.
 
     Marks one agent latency-critical: its clusters and LLM requests
@@ -372,10 +412,11 @@ def ablation_interactive(full: bool = False) -> ExperimentResult:
 
     # Interactive latency only matters under contention: saturate the
     # worker pool and GPU with many background agents.
+    scn = get_scenario(scenario or scenario_default())
     n_agents = 500 if full else 100
     num_workers = 32 if full else 12
-    day = generate_concatenated_trace(n_agents)
-    trace = hour_window(day, BUSY_HOUR)
+    day = generate_concatenated_trace(n_agents, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     serving = serving_for("l4-8b", 1)
     rows = []
     data = {}
@@ -383,7 +424,8 @@ def ablation_interactive(full: bool = False) -> ExperimentResult:
         scheduler = SchedulerConfig(policy="metropolis",
                                     interactive_agents=(0,),
                                     interactive_boost=boost,
-                                    num_workers=num_workers)
+                                    num_workers=num_workers,
+                                    scenario=scn.name)
         result = run_replay(trace, scheduler, serving)
         lat = result.driver_stats.extra["interactive_latencies"] or [0.0]
         mean_lat = float(np.mean(lat))
@@ -401,7 +443,8 @@ def ablation_interactive(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_interactive", table, data)
 
 
-def ablation_prefix_cache(full: bool = False) -> ExperimentResult:
+def ablation_prefix_cache(full: bool = False,
+                          scenario: str | None = None) -> ExperimentResult:
     """§4.1's note: SGLang's prefix cache gives ~20% throughput.
 
     Replays the busy hour with the common-prefix cache modelled at
@@ -409,14 +452,16 @@ def ablation_prefix_cache(full: bool = False) -> ExperimentResult:
     """
     from dataclasses import replace as dc_replace
 
-    day = cached_day_trace(seed=0)
-    trace = hour_window(day, BUSY_HOUR)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     rows = []
     data = {}
     base = serving_for("l4-8b", 1)
     for hit in (0.0, 0.3, 0.6):
         serving = dc_replace(base, prefix_cache_hit_rate=hit)
-        result = run_replay(trace, SchedulerConfig(policy="metropolis"),
+        result = run_replay(trace, SchedulerConfig(policy="metropolis",
+                                                   scenario=scn.name),
                             serving)
         data[hit] = result.completion_time
         rows.append([f"{hit:.0%}", round(result.completion_time, 1),
@@ -430,27 +475,32 @@ def ablation_prefix_cache(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_prefix_cache", table, data)
 
 
-def ablation_speculative(full: bool = False) -> ExperimentResult:
+def ablation_speculative(full: bool = False,
+                         scenario: str | None = None) -> ExperimentResult:
     """§6 speculative execution: how much of the oracle gap it closes.
 
     Compares plain metropolis, speculative metropolis (several budgets)
     and the oracle on the busy hour. The race detector is a replay-mode
     lookahead; misspeculations and squashes re-execute at full cost.
     """
-    day = cached_day_trace(seed=0)
-    trace = hour_window(day, BUSY_HOUR)
+    scn = get_scenario(scenario or scenario_default())
+    day = cached_day_trace(seed=0, scenario=scn)
+    trace = hour_window(day, scn.busy_hour)
     serving = serving_for("l4-8b", 1)
     rows = []
     data = {}
-    metro = run_replay(trace, SchedulerConfig(policy="metropolis"), serving)
-    oracle = run_replay(trace, SchedulerConfig(policy="oracle"), serving)
+    metro = run_replay(trace, SchedulerConfig(policy="metropolis",
+                                              scenario=scn.name), serving)
+    oracle = run_replay(trace, SchedulerConfig(policy="oracle",
+                                               scenario=scn.name), serving)
     data["metropolis"] = metro.completion_time
     data["oracle"] = oracle.completion_time
     rows.append(["metropolis", metro.completion_time, "-", "-", "-"])
     for budget in (4, 8, 16):
         result = run_replay(
             trace, SchedulerConfig(policy="metropolis-spec",
-                                   speculation_budget=budget), serving)
+                                   speculation_budget=budget,
+                                   scenario=scn.name), serving)
         extra = result.driver_stats.extra
         gap_closed = ((metro.completion_time - result.completion_time)
                       / max(metro.completion_time - oracle.completion_time,
@@ -473,7 +523,7 @@ def ablation_speculative(full: bool = False) -> ExperimentResult:
     return ExperimentResult("ablation_speculative", table, data)
 
 
-EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig1,
     "fig2": fig2,
     "fig4a": fig4a,
@@ -493,11 +543,16 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, full: bool | None = None) -> ExperimentResult:
-    """Run one named experiment (quick scale unless ``full``)."""
+def run_experiment(name: str, full: bool | None = None,
+                   scenario: str | None = None) -> ExperimentResult:
+    """Run one named experiment (quick scale unless ``full``).
+
+    ``scenario`` selects the registered workload; ``None`` falls back to
+    ``REPRO_BENCH_SCENARIO`` and then ``smallville``.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
     if full is None:
         full = full_mode_default()
-    return EXPERIMENTS[name](full)
+    return EXPERIMENTS[name](full, scenario=scenario)

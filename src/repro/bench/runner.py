@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..config import (STEPS_PER_HOUR, SchedulerConfig, ServingConfig)
 from ..core import run_replay
@@ -53,14 +53,21 @@ def run_policies(trace: Trace, platform: str, num_gpus: int,
                  policies: Sequence[str],
                  priority: bool = True,
                  fidelity: str = "fluid",
-                 num_workers: int = 0) -> dict[str, PolicyOutcome]:
-    """Replay ``trace`` under each policy on the given deployment."""
+                 num_workers: int = 0,
+                 scenario: str | None = None) -> dict[str, PolicyOutcome]:
+    """Replay ``trace`` under each policy on the given deployment.
+
+    ``scenario`` labels the run's workload in the scheduler config; it
+    defaults to the scenario recorded in the trace metadata.
+    """
     serving = serving_for(platform, num_gpus, fidelity)
+    scenario = scenario or trace.meta.scenario
     out: dict[str, PolicyOutcome] = {}
     for policy in policies:
         result = run_replay(
             trace, SchedulerConfig(policy=policy, priority=priority,
-                                   num_workers=num_workers), serving)
+                                   num_workers=num_workers,
+                                   scenario=scenario), serving)
         out[policy] = PolicyOutcome(
             policy=policy,
             completion_time=result.completion_time,

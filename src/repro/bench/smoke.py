@@ -1,0 +1,121 @@
+"""Per-scenario smoke replays: the CI gate behind ``repro-bench smoke``.
+
+For every registered scenario this generates a tiny trace over the
+scenario's active window, replays it under ``parallel-sync`` and
+``metropolis`` on a simulated 1x L4 / Llama-3-8B deployment, and checks
+the two properties a scenario must hold to ship:
+
+* **speedup** — metropolis completes the window strictly faster than
+  parallel-sync (the OOO scheduler has headroom to exploit);
+* **equivalence** — the live threaded engine, run OOO over the same
+  window, ends in the identical world state as lock-step execution.
+
+The JSON report is uploaded as a CI artifact so regressions are easy to
+bisect from the workflow page.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..config import SchedulerConfig
+from ..core import run_replay
+from ..errors import ScenarioError
+from ..scenarios import get_scenario, scenario_names
+from ..trace import generate_trace
+from .runner import serving_for
+
+#: Agents used for the smoke replay (capped per scenario segment size).
+SMOKE_AGENTS = 10
+SMOKE_SEED = 0
+
+
+def scenario_window_trace(scenario, n_agents: int = SMOKE_AGENTS,
+                          seed: int = SMOKE_SEED):
+    """The canonical smoke workload: a small trace over the scenario's
+    active window. The CI gate, the per-scenario microbenchmarks and the
+    equivalence tests all replay exactly this, so their numbers compare.
+    """
+    scn = get_scenario(scenario)
+    start, end = scn.active_window
+    n_agents = min(n_agents, scn.agents_per_segment)
+    return generate_trace(n_agents, end, seed=seed,
+                          scenario=scn).window(start, end)
+
+
+def smoke_one(name: str, check_live: bool = True) -> dict:
+    """Run the smoke gate for one scenario; returns its report entry."""
+    scn = get_scenario(name)
+    scn.validate()
+    start, end = scn.active_window
+    trace = scenario_window_trace(scn)
+    n_agents = trace.meta.n_agents
+    serving = serving_for("l4-8b", 1)
+    times = {}
+    for policy in ("parallel-sync", "metropolis"):
+        result = run_replay(
+            trace, SchedulerConfig(policy=policy, scenario=scn.name),
+            serving)
+        times[policy] = result.completion_time
+    entry = {
+        "scenario": scn.name,
+        "n_agents": n_agents,
+        "window": [start, end],
+        "n_calls": trace.n_calls,
+        "parallel_sync_time": times["parallel-sync"],
+        "metropolis_time": times["metropolis"],
+        "speedup": times["parallel-sync"] / times["metropolis"],
+        "metropolis_beats_sync": times["metropolis"] < times["parallel-sync"],
+    }
+    if check_live:
+        entry["live_state_identical"] = _live_equivalent(scn, n_agents,
+                                                         start, end)
+    return entry
+
+
+def _live_equivalent(scn, n_agents: int, start: int, end: int) -> bool:
+    """Live OOO vs lock-step over the active window: identical state?"""
+    from ..live import EchoLLMClient, LiveSimulation
+    from ..live.environment import BehaviorProgram
+
+    ref = scn.model(n_agents, SMOKE_SEED)
+    for step in range(end):
+        ref.step_all(step)
+    ref_state = [(a.pos, a.awake, a.activity, len(a.memory))
+                 for a in ref.agents]
+
+    ooo = scn.model(n_agents, SMOKE_SEED)
+    for step in range(start):
+        ooo.step_all(step)
+    sim = LiveSimulation(BehaviorProgram(ooo), EchoLLMClient(),
+                         num_workers=4)
+    sim.run(target_step=end, start_step=start)
+    ooo_state = [(a.pos, a.awake, a.activity, len(a.memory))
+                 for a in ooo.agents]
+    return ooo_state == ref_state
+
+
+def run_smoke(out: Path | None = None, scenarios: list[str] | None = None,
+              check_live: bool = True, strict: bool = True) -> dict:
+    """Smoke-gate every registered scenario (or the given subset).
+
+    With ``strict`` (the default and what CI runs), any scenario that
+    fails either property raises :class:`ScenarioError` after the full
+    report is written.
+    """
+    names = scenarios or scenario_names()
+    report = {"scenarios": [smoke_one(name, check_live=check_live)
+                            for name in names]}
+    failures = [e["scenario"] for e in report["scenarios"]
+                if not e["metropolis_beats_sync"]
+                or not e.get("live_state_identical", True)]
+    report["ok"] = not failures
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+    if strict and failures:
+        raise ScenarioError(
+            f"smoke gate failed for: {failures} (see report)")
+    return report

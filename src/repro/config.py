@@ -89,6 +89,12 @@ class SchedulerConfig:
         "single-thread", "parallel-sync", "metropolis", "metropolis-spec",
         "oracle", "no-dependency",
     ] = "metropolis"
+    #: Registered scenario (see :mod:`repro.scenarios`) this run's
+    #: workload comes from; reported as ``SimulationResult.scenario``.
+    #: Empty means "take it from the trace metadata" — set it explicitly
+    #: when the workload label should override the trace's (e.g. a
+    #: synthetic trace standing in for a scenario).
+    scenario: str = ""
     #: Step-priority scheduling (§3.5). Applies to metropolis and oracle.
     priority: bool = True
     #: Number of logical worker slots. ``0`` means unbounded (the DES does

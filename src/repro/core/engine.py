@@ -39,6 +39,9 @@ class SimulationResult:
     """Outcome of one replay run."""
 
     policy: str
+    #: Workload label: the scheduler config's scenario, falling back to
+    #: the scenario recorded in the trace metadata.
+    scenario: str
     #: Virtual seconds from start to the last completed event.
     completion_time: float
     #: Time-average outstanding LLM requests (§4.2 metric).
@@ -94,6 +97,7 @@ def run_replay(trace: Trace,
     completion = kernel.now
     return SimulationResult(
         policy=scheduler.policy,
+        scenario=scheduler.scenario or trace.meta.scenario,
         completion_time=completion,
         achieved_parallelism=engine.metrics.achieved_parallelism(completion),
         n_calls_completed=engine.metrics.completed,

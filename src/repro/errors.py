@@ -67,5 +67,10 @@ class WorldError(ReproError):
     """Invalid world-model operation (bad tile, unreachable target...)."""
 
 
+class ScenarioError(ReproError):
+    """Unknown scenario name, duplicate registration, or a scenario whose
+    world/personas violate the invariants the schedulers rely on."""
+
+
 class KernelError(ReproError):
     """Discrete-event kernel misuse (e.g. scheduling in the past)."""

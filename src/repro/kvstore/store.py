@@ -18,7 +18,7 @@ without holding the lock during compute.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import TransactionError, WatchError
 

@@ -12,7 +12,7 @@ interfaces wrap ``agent.proceed`` / ``world.step``.
 
 from .clients import EchoLLMClient, LLMClient, ThrottledLLMClient
 from .engine import LiveResult, LiveSimulation
-from .environment import Environment, WorldProgram
+from .environment import Environment, WorldProgram, program_for_scenario
 
 __all__ = [
     "LLMClient",
@@ -22,4 +22,5 @@ __all__ = [
     "LiveResult",
     "Environment",
     "WorldProgram",
+    "program_for_scenario",
 ]

@@ -14,7 +14,7 @@ of RL-style frameworks the paper compares its interface to.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from ..config import SchedulerConfig
 from ..core.space import Position
@@ -64,6 +64,19 @@ class BehaviorProgram:
                            f"({call.input_tokens} tokens)",
                     max_tokens=call.output_tokens,
                     priority=float(step))
+
+
+def program_for_scenario(scenario: str, n_agents: int,
+                         seed: int = 0) -> "BehaviorProgram":
+    """A ready-to-run world program for any registered scenario.
+
+    Example::
+
+        program = program_for_scenario("metro-grid", n_agents=10)
+        result = Environment(program, EchoLLMClient()).run(target_step=50)
+    """
+    from ..scenarios import get_scenario
+    return BehaviorProgram(get_scenario(scenario).model(n_agents, seed))
 
 
 class Environment:

@@ -1,0 +1,41 @@
+"""Pluggable scenario subsystem: registry + the built-in worlds.
+
+Every workload the drivers, benchmarks, and tests run is a *scenario*: a
+map builder, a persona factory, the social/behavior wiring, and default
+trace parameters, registered by name (see :mod:`repro.scenarios.base`).
+Importing this package registers the built-ins; third-party packages add
+theirs through the ``repro.scenarios`` entry-point group and every
+driver — replay, live, bench CLI, and the OOO-equivalence CI gate —
+picks them up by name with no further changes.
+
+    >>> from repro.scenarios import get_scenario, scenario_names
+    >>> scenario_names()
+    ['market-town', 'metro-grid', 'smallville']
+    >>> model = get_scenario("metro-grid").model(n_agents=8, seed=0)
+"""
+
+from .base import Scenario, hour_step, pick_weighted
+from .registry import (ENTRY_POINT_GROUP, REGISTRY, ScenarioRegistry,
+                       get_scenario, register_scenario, scenario_names)
+
+# Importing the modules registers the built-ins with REGISTRY.
+from .smallville import SmallvilleScenario
+from .metro_grid import MetroGridScenario, build_metro_grid
+from .market_town import MarketTownScenario, build_market_town
+
+__all__ = [
+    "Scenario",
+    "ScenarioRegistry",
+    "REGISTRY",
+    "ENTRY_POINT_GROUP",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "hour_step",
+    "pick_weighted",
+    "SmallvilleScenario",
+    "MetroGridScenario",
+    "MarketTownScenario",
+    "build_metro_grid",
+    "build_market_town",
+]

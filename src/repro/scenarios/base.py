@@ -1,0 +1,161 @@
+"""The :class:`Scenario` contract: everything a pluggable world provides.
+
+A scenario bundles the four things every driver needs to run a workload
+end-to-end: a map builder, a persona factory, the behavior model wiring
+(which venues count as social, which step window is "busy"), and default
+trace-generation parameters (agents per concatenated segment, the window
+used by smoke tests). Scenarios are registered with the
+:class:`repro.scenarios.ScenarioRegistry` and addressed by name from the
+trace generator, the bench CLI, the live engine, and the tests — so a new
+world automatically flows through every driver, benchmark, and the
+OOO-equivalence CI gate.
+
+Invariants a scenario's world must uphold (checked by the registry's
+``validate`` and by ``tests/test_scenarios.py``):
+
+* agents move at most one tile per step (the §3.2 ``max_vel`` bound) —
+  guaranteed by :class:`repro.world.behavior.BehaviorModel`;
+* every walkable tile is reachable from every other (no sealed rooms),
+  so pathfinding and venue-to-venue walks never fail mid-trace;
+* every venue named by a persona's home/work/schedule exists in the map.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..config import STEPS_PER_HOUR
+from ..errors import ScenarioError
+from ..world.behavior import BehaviorModel
+from ..world.grid import GridWorld
+from ..world.pathfind import PathPlanner
+from ..world.persona import Persona
+
+
+def hour_step(h: float) -> int:
+    """Step-of-day corresponding to hour-of-day ``h`` (fractional ok)."""
+    return int(h * STEPS_PER_HOUR)
+
+
+def pick_weighted(rng, items: Sequence[tuple]) -> tuple:
+    """Pick one ``(..., weight)`` tuple proportionally to its last field."""
+    total = sum(item[-1] for item in items)
+    pick = rng.random() * total
+    cumulative = 0.0
+    for item in items:
+        cumulative += item[-1]
+        if pick <= cumulative:
+            return item
+    return items[-1]
+
+
+class Scenario(abc.ABC):
+    """A pluggable world: map + personas + behavior/trace defaults.
+
+    Subclasses define the class attributes below plus :meth:`build_world`
+    and :meth:`make_personas`; the base class provides shared-world
+    caching and the :meth:`model` factory every driver consumes.
+    """
+
+    #: Registry key (``repro-bench run fig5 --scenario <name>``).
+    name: str = ""
+    #: One-line description shown by ``repro-bench scenarios``.
+    description: str = ""
+    #: Agents per segment when concatenating maps side-by-side (§4.3).
+    agents_per_segment: int = 25
+    #: Hour-of-day with the scenario's LLM-call peak / trough.
+    busy_hour: int = 12
+    quiet_hour: int = 6
+    #: ``(start, end)`` steps of an *active* early-day window — agents are
+    #: awake, moving and calling the LLM — used by the smoke replays and
+    #: the OOO-equivalence tests (generation only needs ``end`` steps).
+    active_window: tuple[int, int] = (2300, 2420)
+    #: Venues where conversations spark easily (scenario's social fabric).
+    social_venues: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._world: GridWorld | None = None
+        self._homes: list[str] | None = None
+        self._planner: PathPlanner | None = None
+
+    # -- abstract surface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def build_world(self) -> tuple[GridWorld, list[str]]:
+        """Construct a fresh map; returns ``(world, home venue names)``."""
+
+    @abc.abstractmethod
+    def make_personas(self, n_agents: int, seed: int,
+                      homes: list[str]) -> list[Persona]:
+        """Deterministic persona factory (same seed -> same personas)."""
+
+    # -- shared-world caching ----------------------------------------------
+
+    def world(self) -> tuple[GridWorld, list[str]]:
+        """The scenario's (immutable, shared) map and home-venue names."""
+        if self._world is None:
+            self._world, self._homes = self.build_world()
+        return self._world, list(self._homes)
+
+    def planner(self) -> PathPlanner:
+        """Shared pathfinder — BFS distance fields amortize across runs."""
+        if self._planner is None:
+            world, _ = self.world()
+            self._planner = PathPlanner(world)
+        return self._planner
+
+    # -- driver-facing factories -------------------------------------------
+
+    def model(self, n_agents: int, seed: int) -> BehaviorModel:
+        """A ready-to-step :class:`BehaviorModel` for this scenario."""
+        if n_agents < 1:
+            raise ScenarioError(
+                f"{self.name}: need at least one agent, got {n_agents}")
+        world, homes = self.world()
+        personas = self.make_personas(n_agents, seed, homes)
+        return BehaviorModel(world, personas, seed=seed,
+                             planner=self.planner(),
+                             social_venues=self.social_venues or None)
+
+    def validate(self) -> None:
+        """Check the map invariants every driver relies on (fail early)."""
+        import numpy as np
+
+        world, homes = self.world()
+        if not homes:
+            raise ScenarioError(f"{self.name}: no home venues")
+        for name in homes:
+            if name not in world.venues:
+                raise ScenarioError(
+                    f"{self.name}: home {name!r} is not a venue")
+        for name in self.social_venues:
+            if name not in world.venues:
+                raise ScenarioError(
+                    f"{self.name}: social venue {name!r} is not a venue")
+        # Sample the persona factory: every venue a persona references
+        # must exist, or trace generation fails deep in the world loop.
+        for p in self.make_personas(min(8, self.agents_per_segment),
+                                    seed=0, homes=homes):
+            for venue_name in {p.home, p.work,
+                               *(e.venue for e in p.schedule)}:
+                if venue_name not in world.venues:
+                    raise ScenarioError(
+                        f"{self.name}: persona {p.name!r} references "
+                        f"unknown venue {venue_name!r}")
+        start, end = self.active_window
+        if not 0 <= start < end:
+            raise ScenarioError(
+                f"{self.name}: bad active_window {self.active_window}")
+        # Full connectivity: one BFS flood must reach every walkable tile.
+        field = self.planner().distance_field(
+            world.venue(homes[0]).center)
+        reachable = int((field < np.iinfo(np.int32).max).sum())
+        walkable = int(world.walkable.sum())
+        if reachable != walkable:
+            raise ScenarioError(
+                f"{self.name}: map not fully connected "
+                f"({reachable}/{walkable} tiles reachable)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scenario {self.name!r}>"

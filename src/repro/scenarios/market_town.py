@@ -1,0 +1,176 @@
+"""``market-town``: a trading scenario that stresses the blocking radius.
+
+A wide 190x70 town: an open Grand Market in the middle, cottages in two
+rows beside it, farms on the far west edge and freight depots on the far
+east. Couriers shuttle between the market and the depots all day — long
+cross-map walks whose laggards project a large §3.2 blocking cone over
+everyone they pass, while traders densely packed in the market form one
+long-lived social cluster. The mix (a few far-ranging stragglers + one
+dense hub) is the adversarial shape for the dependency graph: leaders
+keep bumping into ``block_threshold`` spheres of agents many steps
+behind.
+"""
+
+from __future__ import annotations
+
+from .._util import rng_for
+from ..world.grid import GridWorld, Venue
+from ..world.persona import Persona, ScheduleEntry
+from .base import Scenario, hour_step, pick_weighted
+from .registry import register_scenario
+
+MARKET_WIDTH = 190
+MARKET_HEIGHT = 70
+
+#: (archetype, work venue or None for an rng pick, weight)
+_ARCHETYPES: list[tuple[str, str | None, float]] = [
+    ("trader", "Grand Market", 0.35),
+    ("courier", None, 0.25),   # depot assigned per-agent
+    ("farmer", None, 0.20),    # farm assigned per-agent
+    ("innkeeper", "Tavern", 0.10),
+    ("clerk", "Guild Hall", 0.10),
+]
+
+_DEPOTS = ["East Depot", "Harbor Depot"]
+_FARMS = ["West Farm", "South Orchard"]
+
+_NAMES = [
+    "Alba", "Bram", "Cerys", "Dario", "Edda", "Fenn", "Greta", "Hale",
+    "Ines", "Jorun", "Kato", "Lucia", "Milo", "Nadia", "Otto", "Petra",
+    "Quil", "Renzo", "Saskia", "Tobin",
+]
+
+
+def build_market_town() -> tuple[GridWorld, list[str]]:
+    """Construct the town map; returns ``(world, cottage names)``."""
+    world = GridWorld(MARKET_WIDTH, MARKET_HEIGHT)
+    homes: list[str] = []
+
+    def cottage(idx: int, x0: int, y0: int) -> None:
+        name = f"Cottage {idx}"
+        world.add_venue(Venue(name, x0, y0, x0 + 4, y0 + 4,
+                              objects=("bed", "hearth", "chest")))
+        homes.append(name)
+
+    # Eight cottages north of the market, four south — one or two
+    # residents each at the default 20 agents.
+    for k in range(8):
+        cottage(k, 44 + 12 * k, 4)
+    for k in range(4):
+        cottage(8 + k, 56 + 20 * k, 62)
+
+    world.add_venue(Venue("Grand Market", 80, 24, 110, 46,
+                          objects=("stall row", "auction block", "well")),
+                    walled=False)
+    world.add_venue(Venue("Tavern", 116, 26, 128, 36,
+                          objects=("bar", "hearth", "long table")))
+    world.add_venue(Venue("Guild Hall", 62, 26, 74, 36,
+                          objects=("ledger desk", "scales", "strongbox")))
+    world.add_venue(Venue("West Farm", 6, 8, 26, 24,
+                          objects=("field", "barn", "trough")),
+                    walled=False)
+    world.add_venue(Venue("South Orchard", 6, 44, 26, 60,
+                          objects=("apple trees", "press", "crates")),
+                    walled=False)
+    world.add_venue(Venue("East Depot", 170, 10, 182, 20,
+                          objects=("loading dock", "crates", "wagon")))
+    world.add_venue(Venue("Harbor Depot", 170, 48, 182, 58,
+                          objects=("pier", "crane", "warehouse")))
+    return world, homes
+
+
+@register_scenario
+class MarketTownScenario(Scenario):
+    """Central marketplace plus long-range couriers (blocking stress)."""
+
+    name = "market-town"
+    description = ("trading town: dense Grand Market hub with couriers "
+                   "running ~90-tile depot routes that drag wide "
+                   "blocking cones across the map")
+    agents_per_segment = 20
+    busy_hour = 12
+    quiet_hour = 6
+    #: ~6:31-6:51am — farmers at work, couriers waking and setting out.
+    active_window = (2350, 2470)
+    social_venues = ("Grand Market", "Tavern")
+
+    def build_world(self):
+        return build_market_town()
+
+    def make_personas(self, n_agents: int, seed: int,
+                      homes: list[str]) -> list[Persona]:
+        personas = []
+        for agent_id in range(n_agents):
+            rng = rng_for(seed, "market-persona", agent_id)
+            archetype, work, _ = pick_weighted(rng, _ARCHETYPES)
+            if archetype == "courier":
+                work = _DEPOTS[int(rng.integers(0, len(_DEPOTS)))]
+            elif archetype == "farmer":
+                work = _FARMS[int(rng.integers(0, len(_FARMS)))]
+            home = homes[agent_id % len(homes)]
+            social = self.social_venues[
+                int(rng.integers(0, len(self.social_venues)))]
+            if archetype == "farmer":
+                wake = hour_step(5.4) + int(rng.integers(0, hour_step(0.8)))
+                sleep = hour_step(21.0) + int(rng.integers(
+                    0, hour_step(1.2)))
+                schedule = (
+                    ScheduleEntry(0, home, "sleeping"),
+                    ScheduleEntry(wake, home, "morning routine"),
+                    ScheduleEntry(wake + hour_step(0.8), work, "working"),
+                    ScheduleEntry(hour_step(10.5), "Grand Market",
+                                  "selling"),
+                    ScheduleEntry(hour_step(14.5), work, "working"),
+                    ScheduleEntry(hour_step(18.0), "Tavern", "socializing"),
+                    ScheduleEntry(hour_step(20.2), home, "dinner"),
+                    ScheduleEntry(sleep, home, "sleeping"),
+                )
+            elif archetype == "courier":
+                wake = hour_step(6.0) + int(rng.integers(0, hour_step(0.8)))
+                sleep = hour_step(21.8) + int(rng.integers(
+                    0, hour_step(1.2)))
+                # Two full market<->depot round trips: each leg is a
+                # ~90-tile walk that crosses the whole inhabited band.
+                schedule = (
+                    ScheduleEntry(0, home, "sleeping"),
+                    ScheduleEntry(wake, home, "morning routine"),
+                    ScheduleEntry(wake + hour_step(0.5), "Grand Market",
+                                  "trading"),
+                    ScheduleEntry(hour_step(9.0), work, "delivering"),
+                    ScheduleEntry(hour_step(11.5), "Grand Market",
+                                  "trading"),
+                    ScheduleEntry(hour_step(12.9), work, "delivering"),
+                    ScheduleEntry(hour_step(15.5), "Grand Market",
+                                  "trading"),
+                    ScheduleEntry(hour_step(17.8), social, "socializing"),
+                    ScheduleEntry(hour_step(19.5), home, "dinner"),
+                    ScheduleEntry(sleep, home, "sleeping"),
+                )
+            else:  # trader / innkeeper / clerk: hub-centric day
+                wake = hour_step(6.2) + int(rng.integers(0, hour_step(1.0)))
+                sleep = hour_step(21.5) + int(rng.integers(
+                    0, hour_step(1.5)))
+                lunch_start = hour_step(11.8) + int(rng.integers(
+                    0, hour_step(0.5)))
+                schedule = (
+                    ScheduleEntry(0, home, "sleeping"),
+                    ScheduleEntry(wake, home, "morning routine"),
+                    ScheduleEntry(wake + hour_step(0.7), work, "trading"),
+                    ScheduleEntry(lunch_start, social, "lunch"),
+                    ScheduleEntry(hour_step(13.2), work, "trading"),
+                    ScheduleEntry(hour_step(18.0), social, "socializing"),
+                    ScheduleEntry(hour_step(19.8), home, "dinner"),
+                    ScheduleEntry(sleep, home, "sleeping"),
+                )
+            personas.append(Persona(
+                agent_id=agent_id,
+                name=f"{_NAMES[agent_id % len(_NAMES)]}-{agent_id}",
+                archetype=archetype,
+                home=home,
+                work=work,
+                wake_step=wake,
+                sleep_step=sleep,
+                sociability=0.4 + 0.6 * float(rng.random()),
+                schedule=schedule,
+            ))
+        return personas

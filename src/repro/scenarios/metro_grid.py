@@ -1,0 +1,145 @@
+"""``metro-grid``: an OpenCity-style downtown that stresses clustering.
+
+A 120x110 city: residential towers line the west and east edges, a 3x2
+grid of office blocks fills the core, and an open Central Plaza / Metro
+Station channel everyone through the same few tiles. Unlike SmallVille's
+staggered villagers, metro personas share a *tight* 40-minute wake band
+and a common pre-work stop at the Metro Station, so the morning and
+evening rush hours produce large transient coupling clusters — the
+regime where geo-clustering, not blocking, limits the OOO scheduler.
+"""
+
+from __future__ import annotations
+
+from .._util import rng_for
+from ..world.grid import GridWorld, Venue
+from ..world.persona import Persona, ScheduleEntry
+from .base import Scenario, hour_step, pick_weighted
+from .registry import register_scenario
+
+METRO_WIDTH = 120
+METRO_HEIGHT = 110
+
+#: (archetype, work venue or None for an office pick, weight)
+_ARCHETYPES: list[tuple[str, str | None, float]] = [
+    ("office worker", None, 0.55),
+    ("barista", "Night Cafe", 0.10),
+    ("chef", "Food Court", 0.10),
+    ("station agent", "Metro Station", 0.10),
+    ("grocer", "Market Hall", 0.08),
+    ("trainer", "City Gym", 0.07),
+]
+
+_OFFICES = [f"Office Block {k}" for k in range(1, 7)]
+
+_NAMES = [
+    "Aiko", "Bao", "Cass", "Dmitri", "Elena", "Farid", "Gustavo", "Hana",
+    "Imani", "Jules", "Kofi", "Lena", "Marco", "Nia", "Omar", "Priya",
+    "Quentin", "Rosa", "Sven", "Tessa", "Umar", "Vera", "Wen", "Ximena",
+    "Yosef", "Zadie",
+]
+
+
+def build_metro_grid() -> tuple[GridWorld, list[str]]:
+    """Construct the downtown map; returns ``(world, tower names)``."""
+    world = GridWorld(METRO_WIDTH, METRO_HEIGHT)
+    homes: list[str] = []
+
+    def tower(idx: int, x0: int, y0: int) -> None:
+        name = f"Tower {idx}"
+        world.add_venue(Venue(name, x0, y0, x0 + 5, y0 + 5,
+                              objects=("bed", "kitchenette", "balcony")))
+        homes.append(name)
+
+    # Five residential towers down each edge; three tenants per tower at
+    # the default 30 agents — co-living density is part of the stress.
+    for k in range(5):
+        tower(k, 4, 6 + 20 * k)
+    for k in range(5):
+        tower(5 + k, 110, 6 + 20 * k)
+
+    for i, x0 in enumerate((30, 55, 80)):
+        for j, y0 in enumerate((20, 60)):
+            world.add_venue(Venue(
+                f"Office Block {1 + i + 3 * j}", x0, y0, x0 + 11, y0 + 11,
+                objects=("desk pool", "meeting room", "printer")))
+    world.add_venue(Venue("Central Plaza", 40, 38, 78, 54,
+                          objects=("fountain", "kiosk", "bench")),
+                    walled=False)
+    world.add_venue(Venue("Food Court", 16, 38, 26, 50,
+                          objects=("noodle stand", "grill", "long table")))
+    world.add_venue(Venue("Night Cafe", 92, 38, 102, 50,
+                          objects=("espresso machine", "booth", "stage")))
+    world.add_venue(Venue("Metro Station", 45, 90, 75, 102,
+                          objects=("turnstile", "platform", "ticket booth")),
+                    walled=False)
+    world.add_venue(Venue("City Gym", 30, 90, 40, 100,
+                          objects=("treadmill", "weights", "mats")))
+    world.add_venue(Venue("Market Hall", 84, 90, 96, 100,
+                          objects=("stall", "cold room", "register")))
+    return world, homes
+
+
+@register_scenario
+class MetroGridScenario(Scenario):
+    """Dense downtown with synchronized commuter flows (rush hours)."""
+
+    name = "metro-grid"
+    description = ("OpenCity-style downtown: edge towers, office core, "
+                   "and a shared Metro Station that packs the morning "
+                   "rush into large coupling clusters")
+    agents_per_segment = 30
+    busy_hour = 12
+    quiet_hour = 6
+    #: 7:10-7:30am — the heart of the morning rush.
+    active_window = (2580, 2700)
+    social_venues = ("Food Court", "Central Plaza", "Night Cafe")
+
+    def build_world(self):
+        return build_metro_grid()
+
+    def make_personas(self, n_agents: int, seed: int,
+                      homes: list[str]) -> list[Persona]:
+        personas = []
+        for agent_id in range(n_agents):
+            rng = rng_for(seed, "metro-persona", agent_id)
+            archetype, work, _ = pick_weighted(rng, _ARCHETYPES)
+            if work is None:
+                work = _OFFICES[int(rng.integers(0, len(_OFFICES)))]
+            home = homes[agent_id % len(homes)]
+            # The defining trait: a tight 6:50-7:30 wake band, so the
+            # whole city commutes through the station at once.
+            wake = hour_step(6.83) + int(rng.integers(0, hour_step(0.67)))
+            sleep = hour_step(22.0) + int(rng.integers(0, hour_step(1.5)))
+            lunch_venue = self.social_venues[
+                int(rng.integers(0, len(self.social_venues)))]
+            evening_venue = self.social_venues[
+                int(rng.integers(0, len(self.social_venues)))]
+            lunch_start = hour_step(11.9) + int(rng.integers(
+                0, hour_step(0.4)))
+            schedule = (
+                ScheduleEntry(0, home, "sleeping"),
+                ScheduleEntry(wake, home, "morning routine"),
+                ScheduleEntry(wake + hour_step(0.5), "Metro Station",
+                              "commuting"),
+                ScheduleEntry(wake + hour_step(1.2), work, "working"),
+                ScheduleEntry(lunch_start, lunch_venue, "lunch"),
+                ScheduleEntry(hour_step(13.1), work, "working"),
+                ScheduleEntry(hour_step(17.5) + int(rng.integers(
+                    0, hour_step(0.3))), "Metro Station", "commuting"),
+                ScheduleEntry(hour_step(18.4), evening_venue, "socializing"),
+                ScheduleEntry(hour_step(19.8), home, "dinner"),
+                ScheduleEntry(sleep, home, "sleeping"),
+            )
+            personas.append(Persona(
+                agent_id=agent_id,
+                name=f"{_NAMES[agent_id % len(_NAMES)]}-{agent_id}",
+                archetype=archetype,
+                home=home,
+                work=work,
+                wake_step=wake,
+                sleep_step=sleep,
+                sociability=0.35 + 0.65 * float(rng.random()),
+                schedule=schedule,
+            ))
+        return personas

@@ -1,0 +1,37 @@
+"""SmallVille as a registered scenario (the paper's §4 workload).
+
+The map and persona factory live in :mod:`repro.world` unchanged — this
+module only adapts them to the :class:`Scenario` contract, so traces
+generated through the registry are bit-identical to the pre-registry
+ones (the calibration tests in ``tests/test_trace.py`` pin this).
+"""
+
+from __future__ import annotations
+
+from ..world.persona import SOCIAL_VENUES, Persona, make_personas
+from ..world.smallville import AGENTS_PER_VILLE, build_smallville
+from .base import Scenario
+from .registry import register_scenario
+
+
+@register_scenario
+class SmallvilleScenario(Scenario):
+    """25 generative agents in the original 140x100 SmallVille."""
+
+    name = "smallville"
+    description = ("GenAgent SmallVille: houses ring the map, social and "
+                   "work venues in the middle band (paper §4.2)")
+    agents_per_segment = AGENTS_PER_VILLE
+    busy_hour = 12
+    quiet_hour = 6
+    #: ~6:23-6:43am — wake chains, morning walks (the window the seed
+    #: equivalence tests already exercised).
+    active_window = (2300, 2420)
+    social_venues = tuple(SOCIAL_VENUES)
+
+    def build_world(self):
+        return build_smallville()
+
+    def make_personas(self, n_agents: int, seed: int,
+                      homes: list[str]) -> list[Persona]:
+        return make_personas(n_agents, seed, homes=homes)

@@ -1,10 +1,12 @@
-"""Synthetic GenAgent trace generation.
+"""Synthetic GenAgent trace generation, parameterized by scenario.
 
-Runs the :mod:`repro.world` simulation lock-step for a day (or any number
-of steps), recording positions and LLM calls into a :class:`Trace`.
-Generation is deterministic in the seed. Day traces are cached on disk
+Runs the :mod:`repro.world` simulation of any registered scenario (see
+:mod:`repro.scenarios`) lock-step for a day (or any number of steps),
+recording positions and LLM calls into a :class:`Trace`. Generation is
+deterministic in ``(scenario, seed)``. Day traces are cached on disk
 (npz) because the scaling benchmarks slice many windows out of the same
-days; set ``REPRO_TRACE_CACHE`` to relocate or ``=0`` to disable.
+days; the cache key includes the scenario name. Set ``REPRO_TRACE_CACHE``
+to relocate or ``=0`` to disable.
 """
 
 from __future__ import annotations
@@ -17,40 +19,31 @@ import numpy as np
 
 from ..config import STEPS_PER_DAY
 from ..errors import TraceError
-from ..world.behavior import FUNC_INDEX, BehaviorModel
-from ..world.pathfind import PathPlanner
-from ..world.persona import make_personas
-from ..world.smallville import (AGENTS_PER_VILLE, SMALLVILLE_HEIGHT,
-                                SMALLVILLE_WIDTH, build_smallville)
+from ..scenarios import Scenario, get_scenario
+from ..world.behavior import FUNC_INDEX
 from .io import load_trace, save_trace
 from .schema import Trace, TraceMeta, concat_traces
 
 #: Bump to invalidate cached traces when generation logic changes.
 GENERATOR_VERSION = 3
 
-_shared_planner: PathPlanner | None = None
 
-
-def _planner() -> PathPlanner:
-    """All villes share one map, so BFS distance fields are shared too."""
-    global _shared_planner
-    if _shared_planner is None:
-        world, _ = build_smallville()
-        _shared_planner = PathPlanner(world)
-    return _shared_planner
-
-
-def generate_trace(n_agents: int = AGENTS_PER_VILLE,
+def generate_trace(n_agents: int | None = None,
                    n_steps: int = STEPS_PER_DAY,
-                   seed: int = 0) -> Trace:
-    """Simulate one SmallVille and record its trace."""
+                   seed: int = 0,
+                   scenario: str | Scenario = "smallville") -> Trace:
+    """Simulate one segment of ``scenario`` and record its trace.
+
+    ``n_agents`` defaults to the scenario's per-segment population (25
+    for SmallVille, as in the paper's setup).
+    """
+    scn = get_scenario(scenario)
+    if n_agents is None:
+        n_agents = scn.agents_per_segment
     if n_agents < 1:
         raise TraceError("need at least one agent")
-    planner = _planner()
-    world = planner.world
-    personas = make_personas(n_agents, seed, homes=[
-        name for name in world.venues if name.startswith("House")])
-    model = BehaviorModel(world, personas, seed=seed, planner=planner)
+    model = scn.model(n_agents, seed)
+    world = model.world
 
     positions = np.zeros((n_agents, n_steps + 1, 2), dtype=np.int16)
     for agent in model.agents:
@@ -73,7 +66,7 @@ def generate_trace(n_agents: int = AGENTS_PER_VILLE,
 
     meta = TraceMeta(
         n_agents=n_agents, n_steps=n_steps, seed=seed,
-        width=SMALLVILLE_WIDTH, height=SMALLVILLE_HEIGHT)
+        width=world.width, height=world.height, scenario=scn.name)
     return Trace(
         meta, positions,
         np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),
@@ -93,42 +86,52 @@ def _cache_dir() -> Path | None:
     return path
 
 
-def cached_day_trace(seed: int, n_agents: int = AGENTS_PER_VILLE,
-                     n_steps: int = STEPS_PER_DAY) -> Trace:
-    """A (possibly cached) full-day single-ville trace."""
+def cached_day_trace(seed: int, n_agents: int | None = None,
+                     n_steps: int = STEPS_PER_DAY,
+                     scenario: str | Scenario = "smallville") -> Trace:
+    """A (possibly cached) full-day single-segment trace."""
+    scn = get_scenario(scenario)
+    if n_agents is None:
+        n_agents = scn.agents_per_segment
     cache = _cache_dir()
     if cache is None:
-        return generate_trace(n_agents, n_steps, seed)
-    path = cache / (f"v{GENERATOR_VERSION}-seed{seed}-a{n_agents}"
-                    f"-s{n_steps}.npz")
+        return generate_trace(n_agents, n_steps, seed, scn)
+    path = cache / (f"v{GENERATOR_VERSION}-{scn.name}-seed{seed}"
+                    f"-a{n_agents}-s{n_steps}.npz")
     if path.exists():
         try:
             return load_trace(path)
         except Exception:
             path.unlink(missing_ok=True)
-    trace = generate_trace(n_agents, n_steps, seed)
+    trace = generate_trace(n_agents, n_steps, seed, scn)
     save_trace(trace, path)
     return trace
 
 
-def generate_concatenated_trace(total_agents: int,
-                                n_steps: int = STEPS_PER_DAY,
-                                base_seed: int = 0) -> Trace:
-    """The §4.3 large ville: ceil(N/25) SmallVilles side-by-side.
+def generate_concatenated_trace(
+        total_agents: int,
+        n_steps: int = STEPS_PER_DAY,
+        base_seed: int = 0,
+        scenario: str | Scenario = "smallville") -> Trace:
+    """The §4.3 large ville: independent map segments side-by-side.
 
-    Each segment replays an independently-seeded 25-agent day; segments
-    share the clock and the (concatenated) space, exactly as the paper
-    scales from 25 to 1000 agents.
+    Each segment replays an independently-seeded day of the scenario's
+    per-segment population; segments share the clock and the
+    (concatenated) space, exactly as the paper scales from 25 to 1000
+    agents.
     """
-    if total_agents <= AGENTS_PER_VILLE:
-        return cached_day_trace(base_seed, total_agents, n_steps)
-    n_segments, remainder = divmod(total_agents, AGENTS_PER_VILLE)
+    scn = get_scenario(scenario)
+    per_segment = scn.agents_per_segment
+    if total_agents <= per_segment:
+        return cached_day_trace(base_seed, total_agents, n_steps, scn)
+    n_segments, remainder = divmod(total_agents, per_segment)
     segments = [
-        cached_day_trace(base_seed + k, AGENTS_PER_VILLE, n_steps)
+        cached_day_trace(base_seed + k, per_segment, n_steps, scn)
         for k in range(n_segments)
     ]
     if remainder:
         segments.append(
-            cached_day_trace(base_seed + n_segments, remainder, n_steps))
+            cached_day_trace(base_seed + n_segments, remainder, n_steps, scn))
     # One-tile gutter between segments keeps the worlds disjoint.
-    return concat_traces(segments, x_stride=SMALLVILLE_WIDTH + 1)
+    world, _ = scn.world()
+    return concat_traces(segments, x_stride=world.width + 1)

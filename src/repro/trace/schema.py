@@ -10,7 +10,7 @@ is what the scheduler drivers consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Iterator, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -31,8 +31,10 @@ class TraceMeta:
     max_vel: float = 1.0
     #: Absolute step-of-day at which this trace window begins.
     base_step: int = 0
-    #: Number of concatenated SmallVille segments (1 = the original map).
+    #: Number of concatenated map segments (1 = the original map).
     segments: int = 1
+    #: Registered scenario this trace was generated from.
+    scenario: str = "smallville"
 
 
 class Trace:

@@ -27,7 +27,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .._util import FastRng, fast_rng_for, rng_for
+from .._util import fast_rng_for, rng_for
 from ..config import STEPS_PER_DAY
 from ..errors import WorldError
 from .agent import AgentState
@@ -35,7 +35,7 @@ from .conversation import ConvState
 from .grid import GridWorld
 from .memory_stream import MemoryEvent
 from .pathfind import PathPlanner
-from .persona import Persona, SOCIAL_VENUES
+from .persona import SOCIAL_VENUES, Persona
 
 #: Function labels recorded in traces (the Figure-1 color legend).
 FUNCS = (
@@ -68,11 +68,17 @@ class BehaviorModel:
     PERCEPTION_RADIUS = 4.0
 
     def __init__(self, world: GridWorld, personas: Sequence[Persona],
-                 seed: int, planner: PathPlanner | None = None) -> None:
+                 seed: int, planner: PathPlanner | None = None,
+                 social_venues: Sequence[str] | None = None) -> None:
         self.world = world
         self.personas = list(personas)
         self.seed = seed
         self.planner = planner or PathPlanner(world)
+        #: Venues where conversations spark easily. ``None`` keeps the
+        #: SmallVille defaults; scenarios pass their own (see
+        #: :mod:`repro.scenarios`).
+        self.social_venues = tuple(
+            SOCIAL_VENUES if social_venues is None else social_venues)
         self.agents: list[AgentState] = []
         for persona in self.personas:
             home = world.venue(persona.home)
@@ -284,7 +290,7 @@ class BehaviorModel:
                     continue
                 rng = fast_rng_for(self.seed, "chat", min(aid, bid),
                                    max(aid, bid), step)
-                social = (self._current_venue_name(a) in SOCIAL_VENUES)
+                social = (self._current_venue_name(a) in self.social_venues)
                 base = 0.115 if (social and a.activity == "lunch") else \
                     0.04 if social else 0.008
                 prob = base * a.persona.sociability * b.persona.sociability
@@ -351,12 +357,18 @@ class BehaviorModel:
     # ------------------------------------------------------------------
 
     #: activity -> (dwell lo, dwell hi) steps between action decisions.
+    #: Unlisted activities fall back to (4, 12). The non-SmallVille
+    #: entries back the metro-grid / market-town scenario schedules.
     _DWELL = {
         "morning routine": (9, 20),
         "working": (3, 9),
         "lunch": (2, 7),
         "socializing": (3, 9),
         "dinner": (5, 13),
+        "commuting": (2, 6),
+        "trading": (3, 8),
+        "selling": (3, 8),
+        "delivering": (6, 14),
     }
 
     #: func -> (base prompt tokens, retrieval top_k, output lo, output hi)

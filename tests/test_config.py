@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.config import (STEPS_PER_DAY, STEPS_PER_HOUR, DependencyConfig,
-                          OverheadConfig, SchedulerConfig, ServingConfig)
+from repro.config import (STEPS_PER_DAY, STEPS_PER_HOUR, OverheadConfig,
+                          SchedulerConfig, ServingConfig)
 from repro.errors import ConfigError
 
 

@@ -10,8 +10,6 @@ from repro.core.engine import critical_time_for
 from repro.core.oracle import mean_dependency_count, mine_interaction_groups
 from repro.errors import ConfigError
 
-from helpers import random_trace
-
 POLICIES = ["single-thread", "parallel-sync", "metropolis", "oracle",
             "no-dependency"]
 

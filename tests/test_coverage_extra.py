@@ -1,11 +1,9 @@
 """Additional edge-case coverage across modules."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import (DependencyConfig, SchedulerConfig, ServingConfig,
-                          STEPS_PER_HOUR)
+from repro.config import (DependencyConfig, SchedulerConfig,
+                          ServingConfig)
 from repro.core import DependencyRules, run_replay
 from repro.devent import Kernel
 from repro.serving import ServingEngine

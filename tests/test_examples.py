@@ -4,8 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
 
@@ -21,6 +19,19 @@ def test_quickstart():
     out = _run("quickstart.py")
     assert "metropolis" in out
     assert "vs parallel-sync" in out
+
+
+def test_quickstart_other_scenario():
+    out = _run("quickstart.py", "--scenario", "market-town")
+    assert "market-town" in out
+    assert "metropolis" in out
+
+
+def test_scenario_showcase():
+    out = _run("scenario_showcase.py", "--agents", "6")
+    for name in ("smallville", "metro-grid", "market-town"):
+        assert name in out
+    assert "OOO speedup" in out
 
 
 def test_dependency_graph_demo():

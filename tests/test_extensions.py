@@ -1,8 +1,6 @@
 """Tests for the paper-motivated extensions: prefix caching (§4.1 note),
 interactive/hybrid scheduling (§6), and the §3.1 worker pool."""
 
-from dataclasses import replace
-
 import pytest
 
 from repro.config import SchedulerConfig, ServingConfig

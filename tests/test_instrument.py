@@ -1,8 +1,6 @@
 """Tests for timelines and concurrency instrumentation."""
 
-import numpy as np
-
-from repro.config import SchedulerConfig, ServingConfig
+from repro.config import SchedulerConfig
 from repro.core import run_replay
 from repro.instrument import (TimelineRecorder, concurrency_at,
                               concurrency_series, render_ascii_timeline)

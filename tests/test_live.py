@@ -5,7 +5,7 @@ import threading
 
 import pytest
 
-from repro.config import DependencyConfig, SchedulerConfig
+from repro.config import SchedulerConfig
 from repro.errors import SchedulingError
 from repro.live import (EchoLLMClient, Environment, LiveSimulation,
                         ThrottledLLMClient)

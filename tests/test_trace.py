@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import STEPS_PER_HOUR
 from repro.errors import TraceError
 from repro.trace import (Trace, compute_stats, export_jsonl,
                          generate_concatenated_trace, generate_trace,

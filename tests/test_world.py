@@ -8,9 +8,9 @@ from hypothesis import given, settings, strategies as st
 from repro._util import rng_for
 from repro.config import STEPS_PER_DAY
 from repro.errors import WorldError
-from repro.world import (AgentState, BehaviorModel, GridWorld, Venue,
+from repro.world import (BehaviorModel, GridWorld, Venue,
                          build_smallville, make_personas)
-from repro.world.behavior import FUNCS, FUNC_INDEX
+from repro.world.behavior import FUNC_INDEX, FUNCS
 from repro.world.memory_stream import MemoryEvent, MemoryStream
 from repro.world.pathfind import PathPlanner, astar
 from repro.world.persona import SOCIAL_VENUES
