@@ -1,0 +1,23 @@
+"""Controller hot-path throughput (§3.6): the pytest-benchmark wrapper
+around ``repro.bench.hotpath``.
+
+The timed quantity is the wall-clock cost of replaying one scenario's
+active window; the printed table carries the real metric — controller
+agent-steps/sec from the :attr:`DriverStats.controller_time` accounting.
+CI runs the full matrix through ``repro-bench hotpath --check`` instead
+(see ``.github/workflows/ci.yml``); this wrapper keeps the hot path
+visible alongside the other microbenchmarks.
+"""
+
+import pytest
+
+from repro.bench.hotpath import bench_one, format_report
+
+
+@pytest.mark.parametrize("n_agents", [25, 100])
+def test_hotpath_smallville(benchmark, n_agents):
+    entry = benchmark.pedantic(
+        lambda: bench_one("smallville", n_agents), rounds=1, iterations=1)
+    print("\n" + format_report({"entries": [entry]}) + "\n")
+    assert entry["agent_steps"] == entry["n_agents"] * entry["n_steps"]
+    assert entry["agent_steps_per_sec"] > 0

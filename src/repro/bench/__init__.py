@@ -9,6 +9,8 @@ comparison's shape at CI-friendly cost.
 """
 
 from .experiments import (EXPERIMENTS, ExperimentResult, run_experiment)
+from .hotpath import (bench_one, check_report, format_report, gate_hotpath,
+                      hotpath_trace, run_hotpath)
 from .runner import PolicyOutcome, bounds_for, hour_window, run_policies
 from .report import format_table, format_ratio
 from .smoke import run_smoke, scenario_window_trace, smoke_one
@@ -26,4 +28,10 @@ __all__ = [
     "run_smoke",
     "smoke_one",
     "scenario_window_trace",
+    "run_hotpath",
+    "bench_one",
+    "hotpath_trace",
+    "check_report",
+    "gate_hotpath",
+    "format_report",
 ]

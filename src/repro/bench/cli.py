@@ -8,6 +8,7 @@ Examples::
     repro-bench run fig5 --full --scenario metro-grid
     repro-bench run all --out results/
     repro-bench smoke --out smoke-report.json
+    repro-bench hotpath --out BENCH_hotpath.json --check
 """
 
 from __future__ import annotations
@@ -21,6 +22,8 @@ from pathlib import Path
 from ..errors import ScenarioError
 from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
+from .hotpath import (AGENT_COUNTS, MIN_SPEEDUP, MIN_THROUGHPUT,
+                      check_report, format_report, run_hotpath)
 from .smoke import run_smoke
 
 
@@ -50,6 +53,29 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the JSON report here")
     smoke.add_argument("--skip-live", action="store_true",
                        help="skip the live-engine equivalence check")
+    hot = sub.add_parser(
+        "hotpath", help="controller hot-path throughput (§3.6): agent-"
+                        "steps/sec per scenario at several agent scales")
+    hot.add_argument("--scenario", action="append", default=None,
+                     choices=scenario_names(), dest="scenarios",
+                     help="limit to a scenario (repeatable)")
+    hot.add_argument("--agents", action="append", type=int, default=None,
+                     help="agent scale (repeatable; default "
+                          f"{list(AGENT_COUNTS)})")
+    hot.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"),
+                     help="write the JSON report here")
+    hot.add_argument("--baseline", type=Path,
+                     default=Path("benchmarks/baselines/"
+                                  "hotpath_baseline.json"),
+                     help="committed baseline report to compare against")
+    hot.add_argument("--check", action="store_true",
+                     help="exit 1 if any entry misses the throughput "
+                          "floor or regresses vs. the baseline")
+    hot.add_argument("--min-throughput", type=float, default=MIN_THROUGHPUT,
+                     help="absolute agent-steps/sec floor for --check")
+    hot.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                     help="required throughput ratio vs. baseline "
+                          "for --check")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -71,6 +97,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
         print(json.dumps(report, indent=2))
+        return 0
+
+    if args.command == "hotpath":
+        from .hotpath import load_baseline
+        if args.check and load_baseline(args.baseline) is None:
+            # A missing baseline must not silently degrade the gate to
+            # floor-only: that is how a regression lands green.
+            print(f"FAIL: baseline {args.baseline} not found "
+                  f"(required for --check)", file=sys.stderr)
+            return 1
+        report = run_hotpath(
+            scenarios=args.scenarios,
+            agent_counts=tuple(args.agents) if args.agents else AGENT_COUNTS,
+            baseline=args.baseline, out=args.out)
+        print(format_report(report))
+        if args.out is not None:
+            print(f"[report written to {args.out}]")
+        if args.check:
+            failures = check_report(report, args.min_throughput,
+                                    args.min_speedup)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("hotpath gate: ok")
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

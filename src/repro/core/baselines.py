@@ -35,6 +35,16 @@ class DriverStats:
     unblock_events: int = 0
     #: step spread observed (max step - min step), peak over the run.
     max_step_spread: int = 0
+    #: §3.6 critical-path accounting: wall-clock seconds the controller
+    #: spent forming/refreshing clusters, updating the dependency graph
+    #: on commits, and enqueueing/dispatching ready clusters. These are
+    #: *host* seconds (the scheduler's real overhead), not virtual time.
+    time_clustering: float = 0.0
+    time_graph: float = 0.0
+    time_dispatch: float = 0.0
+    #: Controller rounds executed (with ack coalescing, one round can
+    #: retire several cluster commits).
+    controller_rounds: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -42,6 +52,11 @@ class DriverStats:
         if not self.clusters_dispatched:
             return 0.0
         return self.cluster_size_sum / self.clusters_dispatched
+
+    @property
+    def controller_time(self) -> float:
+        """Total wall-clock seconds on the controller's critical path."""
+        return self.time_clustering + self.time_graph + self.time_dispatch
 
 
 class SingleThreadDriver:

@@ -1,4 +1,5 @@
-"""§3.4 geo-clustering and the spatial index behind it.
+"""§3.4 geo-clustering, the spatial index behind it, and the §3.6
+incremental cluster cache.
 
 ``geo_clustering`` groups same-step agents whose pairwise chains of
 coupling relations connect them — connected components under
@@ -7,12 +8,28 @@ other's last-step writes and must advance together.
 
 The :class:`SpatialIndex` hashes positions into cells of the coupling
 threshold so both clustering and blocked-edge discovery touch only local
-candidates; for spaces without geometry (``GraphSpace``) it degrades to a
-linear scan transparently.
+candidates. Three hot-path refinements keep the controller's critical
+path light (§3.6):
+
+* for grid spaces the candidate cells come from a **precomputed
+  neighbor-offset stencil** (cached per query span) instead of a
+  generator, and membership uses the space's ``within`` predicate
+  (squared-distance compare for Euclidean — no sqrt per candidate);
+* :meth:`SpatialIndex.query_into` fills a **caller-owned buffer**, so
+  the per-commit queries of the dependency graph allocate nothing;
+* for spaces without geometry (``GraphSpace``) everything degrades to a
+  linear scan transparently.
+
+:class:`ClusterCache` memoizes connected coupling components between
+cluster commits: a component only changes when one of its members (or an
+agent newly within coupling range of one) moves, steps, or leaves the
+ready set, so the controller re-runs BFS only around such *dirty* agents
+and re-uses every other component verbatim.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Iterable, Sequence
 
 from .._util import UnionFind
@@ -29,6 +46,16 @@ class SpatialIndex:
         self.cell = cell
         self._buckets: dict[tuple, set[Hashable]] = {}
         self._positions: dict[Hashable, Position] = {}
+        #: Fast-path hooks (see module docstring).
+        self._grid = bool(getattr(space, "grid_bucketing", False))
+        within = getattr(space, "within", None)
+        if within is None:
+            dist = space.dist
+            def within(a, b, radius, _dist=dist):  # noqa: E306
+                return _dist(a, b) <= radius
+        self._within = within
+        #: span -> neighbor-cell offset stencil, precomputed per radius.
+        self._stencils: dict[int, tuple[tuple[int, int], ...]] = {}
 
     def __len__(self) -> int:
         return len(self._positions)
@@ -56,26 +83,145 @@ class SpatialIndex:
                 del self._buckets[bucket]
 
     def move(self, key: Hashable, pos: Position) -> None:
+        old = self._positions.get(key)
+        if old is not None:
+            cell = self.cell
+            old_bucket = self.space.bucket(old, cell)
+            new_bucket = self.space.bucket(pos, cell)
+            self._positions[key] = pos
+            if old_bucket == new_bucket:
+                return
+            members = self._buckets.get(old_bucket)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._buckets[old_bucket]
+            self._buckets.setdefault(new_bucket, set()).add(key)
+            return
         self.insert(key, pos)
+
+    def _stencil(self, span: int) -> tuple[tuple[int, int], ...]:
+        stencil = self._stencils.get(span)
+        if stencil is None:
+            stencil = tuple((dx, dy)
+                            for dx in range(-span, span + 1)
+                            for dy in range(-span, span + 1))
+            self._stencils[span] = stencil
+        return stencil
 
     def query(self, pos: Position, radius: float) -> list[Hashable]:
         """Keys within ``radius`` of ``pos`` (inclusive)."""
-        out = []
-        dist = self.space.dist
+        return self.query_into(pos, radius, [])
+
+    def query_into(self, pos: Position, radius: float,
+                   out: list) -> list[Hashable]:
+        """Like :meth:`query`, but fills and returns the caller's buffer.
+
+        The buffer is cleared first; hot paths own one scratch list and
+        pass it to every query, eliminating per-query allocation.
+        """
+        out.clear()
         positions = self._positions
+        buckets = self._buckets
+        within = self._within
+        if self._grid:
+            cell = self.cell
+            cx = int(pos[0] // cell)
+            cy = int(pos[1] // cell)
+            span = int(math.ceil(radius / cell))
+            if (2 * span + 1) ** 2 > len(buckets):
+                # Wide query (blocker radius grows with step spread):
+                # scanning the occupied buckets beats probing a mostly
+                # empty stencil.
+                for (bx, by), members in buckets.items():
+                    if abs(bx - cx) <= span and abs(by - cy) <= span:
+                        for key in members:
+                            if within(pos, positions[key], radius):
+                                out.append(key)
+                return out
+            for dx, dy in self._stencil(span):
+                members = buckets.get((cx + dx, cy + dy))
+                if members:
+                    for key in members:
+                        if within(pos, positions[key], radius):
+                            out.append(key)
+            return out
         seen_linear = False
         for bucket in self.space.bucket_range(pos, radius, self.cell):
             if bucket == ():  # non-geometric space: one global bucket
                 if seen_linear:
                     continue
                 seen_linear = True
-            members = self._buckets.get(bucket)
+            members = buckets.get(bucket)
             if not members:
                 continue
             for key in members:
-                if dist(pos, positions[key]) <= radius:
+                if within(pos, positions[key], radius):
                     out.append(key)
         return out
+
+
+class ClusterCache:
+    """Connected coupling components memoized between commits (§3.6).
+
+    The controller stores each BFS result here; a later round whose seed
+    still has a valid cached component skips the BFS (and its spatial
+    queries) entirely. Soundness rests on the caller invalidating every
+    agent whose component *membership* may have changed:
+
+    * committed members (they moved and changed step),
+    * agents within coupling range of a member's post-commit position
+      (the component they belong to could merge with the member's), and
+    * dispatched clusters (their members left the ready set).
+
+    Agents whose *blocked* status changed but whose position/step did
+    not (released waiters) keep their cached component — re-checking
+    blockers is O(members), not a BFS.
+    """
+
+    __slots__ = ("_comp_of", "_members", "_next_id", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._comp_of: dict[int, int] = {}
+        self._members: dict[int, list[int]] = {}
+        self._next_id = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def get(self, aid: int) -> list[int] | None:
+        """The cached component containing ``aid`` (None = rebuild)."""
+        cid = self._comp_of.get(aid)
+        if cid is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._members[cid]
+
+    def store(self, members: list[int]) -> None:
+        """Memoize a freshly-built component (evicts stale overlaps)."""
+        self.invalidate(members)
+        cid = self._next_id
+        self._next_id += 1
+        self._members[cid] = members
+        comp_of = self._comp_of
+        for aid in members:
+            comp_of[aid] = cid
+
+    def invalidate(self, aids: Iterable[int]) -> None:
+        """Drop every component containing any of ``aids``."""
+        comp_of = self._comp_of
+        for aid in aids:
+            cid = comp_of.get(aid)
+            if cid is not None:
+                for member in self._members.pop(cid):
+                    del comp_of[member]
+
+    def clear(self) -> None:
+        self._comp_of.clear()
+        self._members.clear()
 
 
 def geo_clustering(agent_ids: Sequence[int],
@@ -97,8 +243,9 @@ def geo_clustering(agent_ids: Sequence[int],
     for i, p in enumerate(pos):
         index.insert(i, p)
     uf = UnionFind(len(ids))
+    buf: list[int] = []
     for i, p in enumerate(pos):
-        for j in index.query(p, threshold):
+        for j in index.query_into(p, threshold, buf):
             if j > i:
                 uf.union(i, j)
     clusters = []

@@ -16,16 +16,69 @@ an agent's commit can never *create* a blocked edge toward an agent at a
 larger step (the threshold shrinks faster than the agent can move), and
 only agents at strictly smaller steps can block — so re-examining members
 and their waiters covers every edge that can change.
+
+Storage is flat and array-backed (§3.6 light critical path): agent ids
+are required to be dense ``0..n-1``, and per-agent state lives in plain
+lists indexed by id instead of hash maps. A commit recomputes each
+member's blockers and its coupling-range neighborhood in one pass — the
+second coupling query per member that earlier versions ran from the
+controller's commit path is gone.
+
+The blocker scan itself is the graph's worst hot spot: its radius grows
+with the member's gap to the *global* min step, and on concatenated
+many-segment maps (§4.3) one straggler segment inflates every other
+segment's scan. For grid spaces the graph therefore keeps a coarse
+second-level grid with a **min-step aggregate per coarse cell**: a cell
+whose slowest agent is at step ``m`` can only contain blockers of A if
+it intersects ``block_threshold(step_A - m)``, so almost every far cell
+is dismissed with two comparisons and the scan stays local no matter
+how wide the step spread grows.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
 
 from ..errors import SchedulingError
 from .clustering import SpatialIndex
 from .rules import DependencyRules
 from .space import Position
+
+#: ``cell_min`` sentinel for free coarse-grid slots (never < any step).
+_FREE_SLOT = np.iinfo(np.int64).max
+
+
+class CommitResult:
+    """What a cluster commit changed, split by how callers react.
+
+    ``unblocked`` — agents whose blocker set became empty (committed
+    members included): dispatch candidates whose cluster *membership* is
+    unchanged. ``neighbors`` — agents within coupling range of a
+    member's post-commit position: their cached cluster may need to
+    merge with the mover, so incremental clustering must invalidate
+    them. Membership tests and iteration cover the union, so existing
+    ``aid in result`` call sites keep working.
+    """
+
+    __slots__ = ("unblocked", "neighbors")
+
+    def __init__(self, unblocked: set[int], neighbors: set[int]) -> None:
+        self.unblocked = unblocked
+        self.neighbors = neighbors
+
+    def __contains__(self, aid: int) -> bool:
+        return aid in self.unblocked or aid in self.neighbors
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self.unblocked
+        yield from (aid for aid in self.neighbors
+                    if aid not in self.unblocked)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CommitResult(unblocked={sorted(self.unblocked)}, "
+                f"neighbors={sorted(self.neighbors)})")
 
 
 class SpatioTemporalGraph:
@@ -35,29 +88,91 @@ class SpatioTemporalGraph:
                  initial_positions: Mapping[int, Position],
                  start_step: int = 0) -> None:
         self.rules = rules
-        self.n_agents = len(initial_positions)
-        self.step: dict[int, int] = {}
-        self.pos: dict[int, Position] = {}
-        self.running: dict[int, bool] = {}
-        self.blocked_by: dict[int, set[int]] = {}
-        self.waiters: dict[int, set[int]] = {}
+        n = len(initial_positions)
+        self.n_agents = n
+        if sorted(initial_positions) != list(range(n)):
+            raise SchedulingError(
+                "agent ids must be dense 0..n-1 for array-backed storage; "
+                f"got {sorted(initial_positions)[:8]}...")
+        #: Flat per-agent state, indexed by agent id.
+        self.step: list[int] = [start_step] * n
+        self.pos: list[Position] = [initial_positions[aid]
+                                    for aid in range(n)]
+        self.running: list[bool] = [False] * n
+        self.blocked_by: list[set[int]] = [set() for _ in range(n)]
+        self.waiters: list[set[int]] = [set() for _ in range(n)]
         self.index = SpatialIndex(rules.space,
                                   cell=max(rules.couple_threshold, 1.0))
+        for aid in range(n):
+            self.index.insert(aid, self.pos[aid])
         #: agents per step value, for O(1) min-step maintenance.
-        self._step_counts: dict[int, int] = {}
+        self._step_counts: dict[int, int] = {start_step: n}
         self._min_step = start_step
         self._max_step = start_step
+        #: Reusable spatial-query scratch buffer (allocation-free commits).
+        self._qbuf: list[int] = []
+        # Coarse min-step grid for the blocker scan (grid spaces only):
+        # slot-addressed numpy columns so the per-scan cell pruning is
+        # one vectorized mask instead of a Python loop.
+        self._grid_fast = self.index._grid
+        self._coarse_cell = self.index.cell * 16.0
+        cap = 64
+        self._cxy = np.zeros((2, cap), dtype=np.int64)
+        self._cmin = np.full(cap, _FREE_SLOT, dtype=np.int64)
+        self._cmembers: list[set[int] | None] = [None] * cap
+        self._cslot: dict[tuple[int, int], int] = {}
+        self._cfree: list[int] = list(range(cap - 1, -1, -1))
+        if self._grid_fast:
+            cc = self._coarse_cell
+            for aid in range(n):
+                p = self.pos[aid]
+                self._coarse_add((int(p[0] // cc), int(p[1] // cc)),
+                                 aid, start_step)
         # instrumentation
         self.blocked_events = 0
         self.unblock_events = 0
-        for aid, pos in initial_positions.items():
-            self.step[aid] = start_step
-            self.pos[aid] = pos
-            self.running[aid] = False
-            self.blocked_by[aid] = set()
-            self.waiters[aid] = set()
-            self.index.insert(aid, pos)
-        self._step_counts[start_step] = self.n_agents
+
+    # -- coarse min-step grid ----------------------------------------------
+
+    def _coarse_add(self, key: tuple[int, int], aid: int,
+                    step: int) -> None:
+        slot = self._cslot.get(key)
+        if slot is None:
+            if not self._cfree:
+                old_cap = self._cmin.shape[0]
+                new_cap = old_cap * 2
+                self._cxy = np.concatenate(
+                    [self._cxy, np.zeros((2, old_cap), dtype=np.int64)],
+                    axis=1)
+                self._cmin = np.concatenate(
+                    [self._cmin,
+                     np.full(old_cap, _FREE_SLOT, dtype=np.int64)])
+                self._cmembers.extend([None] * old_cap)
+                self._cfree.extend(range(new_cap - 1, old_cap - 1, -1))
+            slot = self._cfree.pop()
+            self._cslot[key] = slot
+            self._cxy[0, slot] = key[0]
+            self._cxy[1, slot] = key[1]
+            self._cmin[slot] = step
+            self._cmembers[slot] = {aid}
+            return
+        self._cmembers[slot].add(aid)
+        if step < self._cmin[slot]:
+            self._cmin[slot] = step
+
+    def _coarse_remove(self, key: tuple[int, int], aid: int,
+                       old_step: int) -> None:
+        slot = self._cslot[key]
+        members = self._cmembers[slot]
+        members.discard(aid)
+        if not members:
+            del self._cslot[key]
+            self._cmembers[slot] = None
+            self._cmin[slot] = _FREE_SLOT
+            self._cfree.append(slot)
+        elif self._cmin[slot] == old_step:
+            step = self.step
+            self._cmin[slot] = min(step[m] for m in members)
 
     # -- queries ----------------------------------------------------------
 
@@ -81,7 +196,7 @@ class SpatioTemporalGraph:
     def snapshot(self) -> list[tuple[int, int, Position]]:
         """``(aid, step, pos)`` for every agent (for validation)."""
         return [(aid, self.step[aid], self.pos[aid])
-                for aid in sorted(self.step)]
+                for aid in range(self.n_agents)]
 
     def validate(self) -> None:
         """Assert the §3.2 validity condition for the whole state."""
@@ -94,26 +209,50 @@ class SpatioTemporalGraph:
         s = self.step[aid]
         if s <= self._min_step:
             return set()
-        radius = self.rules.block_threshold(s - self._min_step)
-        blockers = set()
-        for bid in self.index.query(self.pos[aid], radius):
-            if bid == aid:
-                continue
-            if self.rules.blocked(self.pos[aid], s,
-                                  self.pos[bid], self.step[bid]):
+        return self._scan_blockers(aid, s, self.pos[aid])
+
+    def _scan_blockers(self, aid: int, s: int, pos_a: Position) -> set[int]:
+        """All agents blocking ``aid`` (which is at ``s`` / ``pos_a``).
+
+        Grid spaces walk the coarse min-step grid: a cell whose slowest
+        agent is at gap ``g`` from ``aid`` is dismissed outright unless
+        it intersects ``block_threshold(g)``. Other spaces fall back to
+        one index query at the worst-case radius.
+        """
+        step = self.step
+        pos = self.pos
+        rules = self.rules
+        max_vel = rules.max_vel
+        base_r = rules.radius_p + max_vel
+        blockers: set[int] = set()
+        within = self.index._within
+        if self._grid_fast:
+            cc = self._coarse_cell
+            ca_x = int(pos_a[0] // cc)
+            ca_y = int(pos_a[1] // cc)
+            # Conservative lower bound on the distance from pos_a to any
+            # point of each coarse cell (valid for L2/Linf/L1), against
+            # the cell's worst-case (oldest member) blocking threshold.
+            # Free slots carry a huge cell_min, failing the first test.
+            cmin = self._cmin
+            dx = np.abs(self._cxy[0] - ca_x)
+            dy = np.abs(self._cxy[1] - ca_y)
+            lower = (np.maximum(dx, dy) - 1) * cc
+            mask = (cmin < s) & (lower <= base_r + (s - cmin) * max_vel)
+            members_of = self._cmembers
+            for slot in np.nonzero(mask)[0]:
+                for bid in members_of[slot]:
+                    s_b = step[bid]
+                    if s_b < s and bid != aid and within(
+                            pos_a, pos[bid], base_r + (s - s_b) * max_vel):
+                        blockers.add(bid)
+            return blockers
+        radius = rules.block_threshold(s - self._min_step)
+        blocked = rules.blocked
+        for bid in self.index.query_into(pos_a, radius, self._qbuf):
+            if bid != aid and blocked(pos_a, s, pos[bid], step[bid]):
                 blockers.add(bid)
         return blockers
-
-    def refresh_blockers(self, aid: int) -> None:
-        """Recompute and re-register ``aid``'s blocked edges."""
-        for bid in self.blocked_by[aid]:
-            self.waiters[bid].discard(aid)
-        new = self.compute_blockers(aid)
-        self.blocked_by[aid] = new
-        for bid in new:
-            self.waiters[bid].add(aid)
-        if new:
-            self.blocked_events += 1
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -128,46 +267,98 @@ class SpatioTemporalGraph:
             self.running[aid] = True
 
     def commit(self, aids: Iterable[int],
-               new_positions: Mapping[int, Position]) -> set[int]:
+               new_positions: Mapping[int, Position]) -> CommitResult:
         """Advance a finished cluster one step.
 
-        Returns agents whose blocker set became empty (newly unblocked
-        candidates the controller should try to re-cluster/dispatch),
-        plus the committed members themselves if they are unblocked.
+        Returns a :class:`CommitResult`: agents whose blocker set became
+        empty (newly dispatchable candidates, committed members
+        included) plus the agents within coupling range of the members'
+        new positions (whose cached clusters the controller must
+        refresh). One spatial query per member serves both purposes.
         """
         members = list(aids)
-        candidates: set[int] = set()
+        step = self.step
+        pos = self.pos
+        running = self.running
+        step_counts = self._step_counts
+        index = self.index
+        grid_fast = self._grid_fast
+        cc = self._coarse_cell
         for aid in members:
-            if not self.running[aid]:
+            if not running[aid]:
                 raise SchedulingError(f"agent {aid} was not running")
-            self.running[aid] = False
-            old = self.step[aid]
-            self._step_counts[old] -= 1
-            if self._step_counts[old] == 0:
-                del self._step_counts[old]
-            self.step[aid] = old + 1
-            self._step_counts[old + 1] = \
-                self._step_counts.get(old + 1, 0) + 1
-            self.pos[aid] = new_positions[aid]
-            self.index.move(aid, self.pos[aid])
-            if old + 1 > self._max_step:
-                self._max_step = old + 1
-        if self._step_counts:
-            self._min_step = min(self._step_counts)
-        # Members may now be blocked at their new step.
+            running[aid] = False
+            old = step[aid]
+            step_counts[old] -= 1
+            if step_counts[old] == 0:
+                del step_counts[old]
+            new = old + 1
+            step[aid] = new
+            step_counts[new] = step_counts.get(new, 0) + 1
+            old_pos = pos[aid]
+            new_pos = new_positions[aid]
+            pos[aid] = new_pos
+            index.move(aid, new_pos)
+            if grid_fast:
+                old_key = (int(old_pos[0] // cc), int(old_pos[1] // cc))
+                new_key = (int(new_pos[0] // cc), int(new_pos[1] // cc))
+                if new_key != old_key:
+                    self._coarse_remove(old_key, aid, old)
+                    self._coarse_add(new_key, aid, new)
+                else:
+                    slot = self._cslot[old_key]
+                    if self._cmin[slot] == old:
+                        self._cmin[slot] = min(
+                            step[m] for m in self._cmembers[slot])
+            if new > self._max_step:
+                self._max_step = new
+        # Steps only grow, so min_step is non-decreasing: walk it up
+        # only when the committed members drained its bucket.
+        if step_counts and self._min_step not in step_counts:
+            ms = self._min_step
+            while ms not in step_counts:
+                ms += 1
+            self._min_step = ms
+        min_step = self._min_step
+        rules = self.rules
+        couple_r = rules.couple_threshold
+        unblocked: set[int] = set()
+        neighbors: set[int] = set()
+        blocked_by = self.blocked_by
+        waiters = self.waiters
+        qbuf = self._qbuf
+        # Members may now be blocked at their new step; the same pass
+        # also yields their coupling-range neighborhood.
         for aid in members:
-            self.refresh_blockers(aid)
-            if not self.blocked_by[aid]:
-                candidates.add(aid)
+            s = step[aid]
+            pos_a = pos[aid]
+            old_blockers = blocked_by[aid]
+            for bid in old_blockers:
+                waiters[bid].discard(aid)
+            if s > min_step:
+                new_blockers = self._scan_blockers(aid, s, pos_a)
+            else:
+                new_blockers = set()
+            for bid in index.query_into(pos_a, couple_r, qbuf):
+                if bid != aid:
+                    neighbors.add(bid)
+            blocked_by[aid] = new_blockers
+            for bid in new_blockers:
+                waiters[bid].add(aid)
+            if new_blockers:
+                self.blocked_events += 1
+            else:
+                unblocked.add(aid)
         # Waiters of members may be released (or still held).
+        blocked = rules.blocked
         for aid in members:
-            for waiter in list(self.waiters[aid]):
-                if not self.rules.blocked(
-                        self.pos[waiter], self.step[waiter],
-                        self.pos[aid], self.step[aid]):
-                    self.waiters[aid].discard(waiter)
-                    self.blocked_by[waiter].discard(aid)
-                    if not self.blocked_by[waiter]:
-                        candidates.add(waiter)
+            pos_a = pos[aid]
+            s = step[aid]
+            for waiter in list(waiters[aid]):
+                if not blocked(pos[waiter], step[waiter], pos_a, s):
+                    waiters[aid].discard(waiter)
+                    blocked_by[waiter].discard(aid)
+                    if not blocked_by[waiter]:
+                        unblocked.add(waiter)
                         self.unblock_events += 1
-        return candidates
+        return CommitResult(unblocked, neighbors)

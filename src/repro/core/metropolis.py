@@ -11,15 +11,24 @@ The driver plays both roles of the paper's architecture in virtual time:
   the dependency graph (§3.3), and hand newly unblocked agents back to
   the controller.
 
-Dispatch work is incremental: after an ack only the committed members,
-their released waiters, and ready agents within coupling range of them
-("dirty" agents) are re-examined — the spirit of §3.6's light critical
-path, expressed algorithmically instead of in C++.
+The controller's critical path is kept light (§3.6) three ways:
+
+* **incremental clustering** — connected coupling components are cached
+  between commits (:class:`~repro.core.clustering.ClusterCache`); only
+  agents that moved, stepped, or gained a new coupling-range neighbor
+  are re-BFS'd, everything else re-uses its memoized component;
+* **ack coalescing** — commits landing at the same virtual instant fold
+  their dirty frontiers into one controller round instead of running a
+  full round per ack;
+* **single-query commits** — the dependency graph returns the coupling
+  neighborhood of each committed member from the same spatial query that
+  recomputes its blockers, so the controller never re-queries.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 
 from ..config import SchedulerConfig
 from ..devent import Kernel
@@ -27,6 +36,7 @@ from ..errors import SchedulingError
 from ..serving import ServingEngine
 from ..trace import Trace
 from .baselines import DriverStats
+from .clustering import ClusterCache
 from .dependency_graph import SpatioTemporalGraph
 from .rules import DependencyRules
 from .tasks import ChainExecutor
@@ -50,6 +60,8 @@ class MetropolisDriver:
         #: Agents finished with their previous step and not yet dispatched.
         self.ready: set[int] = set(range(n))
         self.done: set[int] = set()
+        #: §3.6 incremental clustering: memoized coupling components.
+        self._clusters = ClusterCache()
         self._running_clusters = 0
         #: Remaining-task counters per running cluster id.
         self._cluster_remaining: dict[int, int] = {}
@@ -60,9 +72,17 @@ class MetropolisDriver:
         self._pending: list[tuple[float, int, list[int], int]] = []
         self._pending_seq = 0
         self._busy_workers = 0
+        #: Ack coalescing: dirty agents accumulated across same-instant
+        #: commits, flushed by one controller round.
+        self._dirty_accum: set[int] = set()
+        self._flush_scheduled = False
         #: §6 hybrid deployment: latency-critical agents (see
         #: SchedulerConfig.interactive_agents).
         self._interactive = frozenset(config.interactive_agents)
+        #: Agents inside any interactive agent's dependency cone,
+        #: refreshed at most once per controller round via the spatial
+        #: index (None = recompute on next use).
+        self._cone_cache: set[int] | None = None
         self._last_commit_time: dict[int, float] = {
             aid: 0.0 for aid in self._interactive}
         #: Per-step latencies observed for interactive agents (seconds).
@@ -76,19 +96,37 @@ class MetropolisDriver:
 
     def _controller_round(self, dirty: set[int]) -> None:
         """Re-cluster around ``dirty`` agents and dispatch what is ready."""
+        t0 = perf_counter()
+        self._cone_cache = None
+        graph = self.graph
         visited: set[int] = set()
         clusters: list[tuple[int, list[int]]] = []
+        cached = self._clusters.get
+        is_blocked = graph.blocked_by
         for aid in dirty:
             if aid in visited or aid not in self.ready:
                 continue
-            cluster = self._collect_cluster(aid, visited)
-            if all(not self.graph.is_blocked(m) for m in cluster):
-                clusters.append((self.graph.step[aid], cluster))
+            cluster = cached(aid)
+            if cluster is None:
+                cluster = self._collect_cluster(aid, visited)
+                self._clusters.store(cluster)
+            else:
+                visited.update(cluster)
+            if not any(is_blocked[m] for m in cluster):
+                clusters.append((graph.step[aid], cluster))
+        t1 = perf_counter()
         # Step-priority dispatch order (§3.5); irrelevant when uncapped.
         clusters.sort(key=lambda pair: pair[0] if self.config.priority else 0)
         for step, cluster in clusters:
             self._enqueue_cluster(step, cluster)
         self._fill_workers()
+        t2 = perf_counter()
+        stats = self.stats
+        stats.time_clustering += t1 - t0
+        stats.time_dispatch += t2 - t1
+        stats.controller_rounds += 1
+        stats.extra["cluster_cache_hits"] = self._clusters.hits
+        stats.extra["cluster_cache_misses"] = self._clusters.misses
         self._check_progress()
 
     def _clustering_exclude(self, aid: int) -> bool:
@@ -97,23 +135,25 @@ class MetropolisDriver:
 
     def _collect_cluster(self, seed_aid: int, visited: set[int]) -> list[int]:
         """Connected coupling component of ready agents around ``seed_aid``."""
-        step = self.graph.step[seed_aid]
+        graph = self.graph
+        step = graph.step[seed_aid]
         threshold = self.rules.couple_threshold
         stack = [seed_aid]
         members = []
         visited.add(seed_aid)
+        qbuf: list[int] = []
         while stack:
             aid = stack.pop()
             members.append(aid)
-            for other in self.graph.index.query(self.graph.pos[aid],
-                                                threshold):
+            for other in graph.index.query_into(graph.pos[aid],
+                                                threshold, qbuf):
                 if other == aid or other in visited:
                     continue
-                if self.graph.step[other] != step:
+                if graph.step[other] != step:
                     continue
                 if other in self.done or self._clustering_exclude(other):
                     continue
-                if self.graph.running[other]:
+                if graph.running[other]:
                     # The rules guarantee a running same-step agent can
                     # never sit inside a newly-ready agent's coupling
                     # radius; reaching this line means the invariant broke.
@@ -141,19 +181,29 @@ class MetropolisDriver:
             return float(step)
         return float(self._pending_seq)
 
+    def _cone_agents(self) -> set[int]:
+        """Agents within the interactive dependency cone, via the index.
+
+        One spatial query per interactive agent per controller round
+        replaces the O(|interactive| x |cluster|) pairwise scan that
+        every enqueue/dispatch used to pay.
+        """
+        cone = self._cone_cache
+        if cone is None:
+            radius = self.rules.block_threshold(
+                self.config.interactive_horizon)
+            cone = set(self._interactive)
+            graph = self.graph
+            for iid in self._interactive:
+                cone.update(graph.index.query(graph.pos[iid], radius))
+            self._cone_cache = cone
+        return cone
+
     def _in_interactive_cone(self, cluster: list[int]) -> bool:
-        if not self._interactive.isdisjoint(cluster):
-            return True
-        radius = self.rules.block_threshold(self.config.interactive_horizon)
-        dist = self.rules.space.dist
-        for iid in self._interactive:
-            pos = self.graph.pos[iid]
-            for m in cluster:
-                if dist(pos, self.graph.pos[m]) <= radius:
-                    return True
-        return False
+        return not self._cone_agents().isdisjoint(cluster)
 
     def _enqueue_cluster(self, step: int, cluster: list[int]) -> None:
+        self._clusters.invalidate(cluster)
         for m in cluster:
             self.ready.discard(m)
         self.graph.mark_running(cluster)
@@ -171,6 +221,7 @@ class MetropolisDriver:
 
     def _check_progress(self) -> None:
         if (not self._running_clusters and not self._pending
+                and not self._flush_scheduled
                 and len(self.done) < self.graph.n_agents):
             blocked = {aid: sorted(self.graph.blockers_of(aid))
                        for aid in sorted(self.ready)}
@@ -211,36 +262,52 @@ class MetropolisDriver:
         del self._cluster_remaining[cid]
         self._running_clusters -= 1
         self._busy_workers -= 1
-        new_positions = {aid: self.trace.pos(aid, step + 1)
-                         for aid in members}
-        candidates = self.graph.commit(members, new_positions)
-        spread = self.graph.max_step - self.graph.min_step
-        self.stats.max_step_spread = max(self.stats.max_step_spread, spread)
+        t0 = perf_counter()
+        trace_pos = self.trace.pos
+        new_positions = {aid: trace_pos(aid, step + 1) for aid in members}
+        graph = self.graph
+        result = graph.commit(members, new_positions)
+        spread = graph.max_step - graph.min_step
+        if spread > self.stats.max_step_spread:
+            self.stats.max_step_spread = spread
         if self.config.validate_causality:
-            self.graph.validate()
-        dirty: set[int] = set()
+            graph.validate()
+        # A mover's coupling neighborhood may merge with its component;
+        # drop those memoized components before the next round.
+        self._clusters.invalidate(result.neighbors)
+        dirty = self._dirty_accum
+        n_steps = self.n_steps
         for aid in members:
             if aid in self._interactive:
                 now = self.kernel.now
                 self.interactive_latencies.append(
                     now - self._last_commit_time[aid])
                 self._last_commit_time[aid] = now
-            if self.graph.step[aid] >= self.n_steps:
+            if graph.step[aid] >= n_steps:
                 self.done.add(aid)
             else:
                 self.ready.add(aid)
                 dirty.add(aid)
         # Newly unblocked waiters plus ready agents near the movers.
-        for aid in candidates:
-            if aid in self.ready:
+        ready = self.ready
+        for aid in result.unblocked:
+            if aid in ready:
                 dirty.add(aid)
-        for aid in members:
-            for other in self.graph.index.query(
-                    self.graph.pos[aid], self.rules.couple_threshold):
-                if other in self.ready:
-                    dirty.add(other)
-        self.stats.blocked_events = self.graph.blocked_events
-        self.stats.unblock_events = self.graph.unblock_events
+        for aid in result.neighbors:
+            if aid in ready:
+                dirty.add(aid)
+        self.stats.blocked_events = graph.blocked_events
+        self.stats.unblock_events = graph.unblock_events
+        self.stats.time_graph += perf_counter() - t0
+        # Ack coalescing: commits at the same virtual instant share one
+        # controller round (the flush runs after them, same timestamp).
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.kernel.call_in(0.0, self._flush_controller_round)
+
+    def _flush_controller_round(self) -> None:
+        self._flush_scheduled = False
+        dirty, self._dirty_accum = self._dirty_accum, set()
         self._controller_round(dirty)
 
     def finished(self) -> bool:

@@ -18,7 +18,16 @@ Position = Hashable
 
 
 class Space(Protocol):
-    """A metric over agent positions."""
+    """A metric over agent positions.
+
+    Spaces may additionally provide two optional performance hooks the
+    :class:`~repro.core.clustering.SpatialIndex` exploits:
+
+    * ``within(a, b, radius) -> bool`` — radius membership without
+      computing the distance itself (Euclidean skips the sqrt);
+    * ``grid_bucketing = True`` — declares that :meth:`bucket` returns
+      2D integer cells, enabling precomputed neighbor-cell offsets.
+    """
 
     def dist(self, a: Position, b: Position) -> float:
         """Distance between two positions."""
@@ -40,6 +49,10 @@ class Space(Protocol):
 class _Grid2D:
     """Shared bucketing for 2D coordinate spaces."""
 
+    #: Cells are 2D integer coordinates: the spatial index may walk a
+    #: precomputed neighbor-offset stencil instead of ``bucket_range``.
+    grid_bucketing = True
+
     @staticmethod
     def bucket(pos, cell: float) -> tuple:
         return (int(pos[0] // cell), int(pos[1] // cell))
@@ -59,6 +72,11 @@ class EuclideanSpace(_Grid2D):
     def dist(self, a, b) -> float:
         return math.hypot(a[0] - b[0], a[1] - b[1])
 
+    def within(self, a, b, radius: float) -> bool:
+        dx = a[0] - b[0]
+        dy = a[1] - b[1]
+        return dx * dx + dy * dy <= radius * radius
+
 
 class ChebyshevSpace(_Grid2D):
     """L-infinity distance (square perception windows on grids)."""
@@ -66,12 +84,18 @@ class ChebyshevSpace(_Grid2D):
     def dist(self, a, b) -> float:
         return float(max(abs(a[0] - b[0]), abs(a[1] - b[1])))
 
+    def within(self, a, b, radius: float) -> bool:
+        return abs(a[0] - b[0]) <= radius and abs(a[1] - b[1]) <= radius
+
 
 class ManhattanSpace(_Grid2D):
     """L1 distance (4-connected grid movement)."""
 
     def dist(self, a, b) -> float:
         return float(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+
+    def within(self, a, b, radius: float) -> bool:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1]) <= radius
 
 
 class GraphSpace:

@@ -98,6 +98,13 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         for m in members:
             del self._spec_members[m]
             self.ready.add(m)
+        # The freed members rejoin the ready pool: any memoized
+        # component within coupling range may now have to absorb them.
+        self._clusters.invalidate(members)
+        threshold = self.rules.couple_threshold
+        for m in members:
+            self._clusters.invalidate(
+                self.graph.index.query(self.graph.pos[m], threshold))
         self.stats.extra["squashes"] += 1
         return members
 
@@ -121,6 +128,9 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self._start_speculation(cluster)
 
     def _start_speculation(self, cluster: list[int]) -> None:
+        # Members leave the ready pool; their memoized component (if
+        # any) no longer reflects reality.
+        self._clusters.invalidate(cluster)
         step = self.graph.step[cluster[0]]
         cid = self._cluster_seq = self._cluster_seq + 1
         self._spec[cid] = {
@@ -170,6 +180,12 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self._try_retire(cid)
 
     def _try_retire(self, cid: int) -> None:
+        if self._flush_scheduled:
+            # A coalesced controller round is pending; it may squash this
+            # speculation against agents that just became ready. Retiring
+            # first would dispatch members the round must still be able
+            # to absorb — the post-flush sweep retries.
+            return
         spec = self._spec.get(cid)
         if spec is None or spec["chains_left"] > 0:
             return
@@ -210,9 +226,10 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
     # plumbing
     # ------------------------------------------------------------------
 
-    def _commit_cluster(self, cid: int) -> None:
-        super()._commit_cluster(cid)
-        # Any commit can clear a speculation's last blocker.
+    def _flush_controller_round(self) -> None:
+        super()._flush_controller_round()
+        # Any commit behind this round can have cleared a speculation's
+        # last blocker; squashes (if due) happened during the round.
         for spec_cid in list(self._spec):
             self._try_retire(spec_cid)
 

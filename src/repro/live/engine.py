@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..config import SchedulerConfig
+from ..core.clustering import ClusterCache
 from ..core.dependency_graph import SpatioTemporalGraph
 from ..core.rules import DependencyRules
 from ..errors import SchedulingError
@@ -46,6 +47,15 @@ class LiveResult:
     clusters_executed: int
     cluster_size_sum: int
     max_step_spread: int
+    #: §3.6 critical-path accounting: wall-clock seconds the controller
+    #: thread spent clustering, updating the dependency graph on acks,
+    #: and submitting ready clusters to the worker queue.
+    time_clustering: float = 0.0
+    time_graph: float = 0.0
+    time_dispatch: float = 0.0
+    #: Controller rounds executed; with ack coalescing one round can
+    #: retire several worker acks.
+    controller_rounds: int = 0
     #: Final per-agent positions, as stored in the KV store.
     final_positions: dict[int, tuple] = field(default_factory=dict)
 
@@ -54,6 +64,11 @@ class LiveResult:
         if not self.clusters_executed:
             return 0.0
         return self.cluster_size_sum / self.clusters_executed
+
+    @property
+    def controller_time(self) -> float:
+        """Total wall-clock seconds on the controller's critical path."""
+        return self.time_clustering + self.time_graph + self.time_dispatch
 
 
 class LiveSimulation:
@@ -115,6 +130,18 @@ class LiveSimulation:
         """
         if target_step <= start_step:
             raise SchedulingError("target_step must exceed start_step")
+        # A LiveSimulation object is reusable: every run starts from
+        # fresh queues, counters, and KV state (a second run would
+        # otherwise accumulate stale keys and inflated stats).
+        self._ready_queue = queue.PriorityQueue()
+        self._ack_queue = queue.Queue()
+        self._seq = 0
+        self._stats = LiveResult(target_step=0, wall_time=0.0,
+                                 clusters_executed=0, cluster_size_sum=0,
+                                 max_step_spread=0)
+        # Only the simulation's own keys: a caller-supplied store may
+        # hold unrelated application data.
+        self.store.delete(*self.store.keys("agent:"), "commits")
         n = self.program.n_agents
         for aid in range(n):
             self.store.hset(f"agent:{aid}", "step", start_step)
@@ -154,12 +181,23 @@ class LiveSimulation:
         self._stats.clusters_executed += 1
         self._stats.cluster_size_sum += len(cluster)
 
-    def _await_ack(self) -> tuple[int, list[int]]:
-        kind, step, payload = self._ack_queue.get()
+    def _check_ack(self, item) -> tuple[int, list[int]]:
+        kind, step, payload = item
         if kind == "error":
             raise SchedulingError(
                 f"worker failed at step {step}: {payload!r}") from payload
         return step, payload
+
+    def _await_ack(self) -> tuple[int, list[int]]:
+        return self._check_ack(self._ack_queue.get())
+
+    def _poll_ack(self) -> tuple[int, list[int]] | None:
+        """A non-blocking ack, or None when the queue is drained."""
+        try:
+            item = self._ack_queue.get_nowait()
+        except queue.Empty:
+            return None
+        return self._check_ack(item)
 
     def _run_lockstep(self, target_step: int, n: int,
                       start_step: int = 0) -> None:
@@ -172,65 +210,93 @@ class LiveSimulation:
                  graph: SpatioTemporalGraph) -> None:
         ready = set(range(n))
         done: set[int] = set()
+        cache = ClusterCache()
         in_flight = 0
         in_flight += self._dispatch_round(graph, ready, set(ready),
-                                          target_step)
+                                          target_step, cache)
         while len(done) < n:
             if in_flight == 0:
                 raise SchedulingError(
                     f"live scheduler stalled: done={len(done)}/{n}")
-            step, cluster = self._await_ack()
-            in_flight -= 1
-            candidates = graph.commit(
-                cluster, {aid: self.program.position(aid) for aid in cluster})
-            spread = graph.max_step - graph.min_step
-            self._stats.max_step_spread = max(self._stats.max_step_spread,
-                                              spread)
+            # Ack coalescing: block for one ack, then drain whatever
+            # else finished while the controller slept — all of it
+            # retires through a single dispatch round.
+            acks = [self._await_ack()]
+            while True:
+                ack = self._poll_ack()
+                if ack is None:
+                    break
+                acks.append(ack)
+            in_flight -= len(acks)
+            t0 = time.perf_counter()
             dirty: set[int] = set()
-            for aid in cluster:
-                if graph.step[aid] >= target_step:
-                    done.add(aid)
-                else:
-                    ready.add(aid)
-                    dirty.add(aid)
-            for aid in candidates:
-                if aid in ready:
-                    dirty.add(aid)
-            for aid in cluster:
-                for other in graph.index.query(graph.pos[aid],
-                                               self.rules.couple_threshold):
-                    if other in ready:
-                        dirty.add(other)
+            position = self.program.position
+            for step, cluster in acks:
+                result = graph.commit(
+                    cluster, {aid: position(aid) for aid in cluster})
+                spread = graph.max_step - graph.min_step
+                if spread > self._stats.max_step_spread:
+                    self._stats.max_step_spread = spread
+                cache.invalidate(result.neighbors)
+                for aid in cluster:
+                    if graph.step[aid] >= target_step:
+                        done.add(aid)
+                    else:
+                        ready.add(aid)
+                        dirty.add(aid)
+                for aid in result.unblocked:
+                    if aid in ready:
+                        dirty.add(aid)
+                for aid in result.neighbors:
+                    if aid in ready:
+                        dirty.add(aid)
+            self._stats.time_graph += time.perf_counter() - t0
             in_flight += self._dispatch_round(graph, ready, dirty,
-                                              target_step)
+                                              target_step, cache)
 
     def _dispatch_round(self, graph: SpatioTemporalGraph, ready: set[int],
-                        dirty: set[int], target_step: int) -> int:
+                        dirty: set[int], target_step: int,
+                        cache: ClusterCache) -> int:
         """Cluster the dirty frontier; dispatch unblocked clusters."""
+        t0 = time.perf_counter()
         dispatched = 0
+        submit_time = 0.0
         visited: set[int] = set()
         for seed in sorted(dirty):
             if seed in visited or seed not in ready:
                 continue
             step = graph.step[seed]
-            cluster = self._collect(graph, seed, step, visited)
-            if all(not graph.is_blocked(m) for m in cluster):
+            cluster = cache.get(seed)
+            if cluster is None:
+                cluster = self._collect(graph, seed, step, visited)
+                cache.store(cluster)
+            else:
+                visited.update(cluster)
+            if not any(graph.blocked_by[m] for m in cluster):
+                s0 = time.perf_counter()
+                cache.invalidate(cluster)
                 for m in cluster:
                     ready.discard(m)
                 graph.mark_running(cluster)
                 self._submit(step, sorted(cluster))
                 dispatched += 1
+                submit_time += time.perf_counter() - s0
+        self._stats.time_dispatch += submit_time
+        self._stats.time_clustering += \
+            time.perf_counter() - t0 - submit_time
+        self._stats.controller_rounds += 1
         return dispatched
 
     def _collect(self, graph: SpatioTemporalGraph, seed: int, step: int,
                  visited: set[int]) -> list[int]:
         stack, members = [seed], []
         visited.add(seed)
+        qbuf: list[int] = []
         while stack:
             aid = stack.pop()
             members.append(aid)
-            for other in graph.index.query(graph.pos[aid],
-                                           self.rules.couple_threshold):
+            for other in graph.index.query_into(
+                    graph.pos[aid], self.rules.couple_threshold, qbuf):
                 if (other != aid and other not in visited
                         and graph.step[other] == step
                         and not graph.running[other]):

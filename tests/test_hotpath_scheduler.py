@@ -1,0 +1,306 @@
+"""Tests for the §3.6 hot-path overhaul: the array-backed dependency
+graph against a dict-based reference model (randomized commit-order
+fuzz), the incremental cluster cache, the buffered spatial queries, and
+the hotpath benchmark harness.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import FastRng
+from repro.config import DependencyConfig
+from repro.core import DependencyRules
+from repro.core.clustering import ClusterCache, SpatialIndex
+from repro.core.dependency_graph import SpatioTemporalGraph
+from repro.core.space import EuclideanSpace
+from repro.errors import SchedulingError
+
+
+class DictReferenceGraph:
+    """From-scratch, dict-based model of the dependency graph.
+
+    Everything is recomputed on demand from the §3.2 predicates — no
+    incremental bookkeeping, no spatial pruning — so any divergence in
+    the array-backed implementation's caches shows up as a mismatch.
+    """
+
+    def __init__(self, rules, positions, start_step=0):
+        self.rules = rules
+        self.step = {aid: start_step for aid in positions}
+        self.pos = dict(positions)
+        self.running = {aid: False for aid in positions}
+
+    def blockers(self, aid):
+        return {b for b in self.pos
+                if b != aid and self.rules.blocked(
+                    self.pos[aid], self.step[aid],
+                    self.pos[b], self.step[b])}
+
+    def commit(self, members, new_positions):
+        members = set(members)
+        blocked_before = {a: bool(self.blockers(a)) for a in self.pos}
+        for m in members:
+            assert self.running[m], "reference: commit of a non-running"
+            self.running[m] = False
+            self.step[m] += 1
+            self.pos[m] = new_positions[m]
+        unblocked = {a for a in self.pos
+                     if not self.blockers(a)
+                     and (a in members or blocked_before[a])}
+        couple = self.rules.couple_threshold
+        dist = self.rules.space.dist
+        neighbors = {b for m in members for b in self.pos
+                     if b != m and dist(self.pos[m], self.pos[b]) <= couple}
+        return unblocked, neighbors
+
+
+def _random_cluster(graph, rules, rng, n):
+    """A dispatchable coupled cluster under ``graph``, or None."""
+    order = sorted(range(n), key=lambda _: rng.random())
+    for seed_aid in order:
+        if graph.running[seed_aid] or graph.is_blocked(seed_aid):
+            continue
+        cluster = {seed_aid}
+        frontier = [seed_aid]
+        while frontier:
+            x = frontier.pop()
+            for other in range(n):
+                if (other not in cluster
+                        and not graph.running[other]
+                        and graph.step[other] == graph.step[x]
+                        and rules.coupled(graph.pos[x], graph.pos[other])):
+                    cluster.add(other)
+                    frontier.append(other)
+        if any(graph.is_blocked(m) for m in cluster):
+            continue
+        return sorted(cluster)
+    return None
+
+
+class TestGraphMatchesReferenceModel:
+    """The ISSUE's fuzz gate: array-backed graph == dict reference."""
+
+    @pytest.mark.parametrize("metric", ["euclidean", "chebyshev",
+                                        "manhattan"])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(2, 12))
+    def test_randomized_commit_order(self, metric, seed, n):
+        rng = FastRng(seed)
+        rules = DependencyRules(DependencyConfig(metric=metric))
+        # Span several fine cells and straddle the coarse-cell boundary
+        # at x = 80 so commits exercise coarse-grid maintenance.
+        positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
+                     for i in range(n)}
+        graph = SpatioTemporalGraph(rules, positions)
+        ref = DictReferenceGraph(rules, positions)
+
+        for _ in range(40):
+            members = _random_cluster(graph, rules, rng, n)
+            assert members is not None, "graph deadlocked"
+            graph.mark_running(members)
+            for m in members:
+                ref.running[m] = True
+            new_pos = {}
+            for m in members:
+                x, y = graph.pos[m]
+                dx, dy = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)][
+                    rng.integers(0, 5)]
+                new_pos[m] = (x + dx, y + dy)
+            result = graph.commit(members, new_pos)
+            ref_unblocked, ref_neighbors = ref.commit(members, new_pos)
+
+            # 1. identical unblock candidates, split exactly as commit
+            #    reports them
+            assert result.unblocked == ref_unblocked
+            assert result.neighbors == ref_neighbors
+            for aid in ref_unblocked | ref_neighbors:
+                assert aid in result  # CommitResult membership back-compat
+            # 2. identical blocked-edge sets for every settled agent
+            for aid in range(n):
+                if not graph.running[aid]:
+                    assert graph.blocked_by[aid] == ref.blockers(aid), \
+                        f"agent {aid} blockers diverged"
+            # waiters must be the exact inverse of blocked_by
+            for b in range(n):
+                assert graph.waiters[b] == {
+                    a for a in range(n) if b in graph.blocked_by[a]}
+            # 3. identical min/max step
+            assert graph.min_step == min(ref.step.values())
+            assert graph.max_step == max(ref.step.values())
+
+    def test_distant_laggard_pruned_until_it_blocks(self):
+        """Wide step spread: the coarse min-step prune must never hide a
+        far laggard whose blocking sphere finally reaches the leader."""
+        rules = DependencyRules(DependencyConfig())
+        positions = {0: (0.0, 0.0), 1: (150.0, 0.0)}  # distinct coarse cells
+        graph = SpatioTemporalGraph(rules, positions)
+        ref = DictReferenceGraph(rules, positions)
+        for _ in range(160):
+            if graph.is_blocked(1):
+                break
+            graph.mark_running([1])
+            ref.running[1] = True
+            graph.commit([1], {1: (150.0, 0.0)})
+            ref.commit([1], {1: (150.0, 0.0)})
+            assert graph.blocked_by[1] == ref.blockers(1)
+        # blocked exactly when (gap + 1) * max_vel + radius_p >= 150,
+        # i.e. the commit that lands the leader on step 145
+        assert graph.is_blocked(1)
+        assert graph.step[1] == 145
+        assert graph.blockers_of(1) == frozenset({0})
+
+    def test_dense_ids_required(self):
+        rules = DependencyRules(DependencyConfig())
+        with pytest.raises(SchedulingError):
+            SpatioTemporalGraph(rules, {0: (0, 0), 2: (5, 0)})
+
+
+class TestClusterCache:
+    def test_store_get_roundtrip(self):
+        cache = ClusterCache()
+        cache.store([1, 2, 3])
+        assert cache.get(2) == [1, 2, 3]
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = ClusterCache()
+        assert cache.get(7) is None
+        assert cache.misses == 1
+
+    def test_invalidate_drops_whole_component(self):
+        cache = ClusterCache()
+        cache.store([1, 2, 3])
+        cache.store([4, 5])
+        cache.invalidate([2])
+        assert cache.get(1) is None and cache.get(3) is None
+        assert cache.get(4) == [4, 5]
+        assert len(cache) == 1
+
+    def test_store_evicts_stale_overlap(self):
+        cache = ClusterCache()
+        cache.store([1, 2])
+        cache.store([2, 3])
+        assert cache.get(1) is None
+        assert cache.get(3) == [2, 3]
+
+    def test_clear(self):
+        cache = ClusterCache()
+        cache.store([1])
+        cache.clear()
+        assert cache.get(1) is None
+
+
+class TestSpatialIndexBuffers:
+    def test_query_into_reuses_buffer(self):
+        index = SpatialIndex(EuclideanSpace(), cell=5.0)
+        for i in range(20):
+            index.insert(i, (float(i), 0.0))
+        buf = []
+        got = index.query_into((0.0, 0.0), 3.0, buf)
+        assert got is buf
+        assert sorted(buf) == [0, 1, 2, 3]
+        index.query_into((10.0, 0.0), 1.0, buf)
+        assert sorted(buf) == [9, 10, 11]  # cleared between queries
+
+    def test_wide_query_crossover_matches_stencil(self):
+        rng = FastRng(3)
+        index = SpatialIndex(EuclideanSpace(), cell=5.0)
+        pts = {i: (rng.integers(0, 400), rng.integers(0, 300))
+               for i in range(120)}
+        for i, p in pts.items():
+            index.insert(i, p)
+        space = EuclideanSpace()
+        for radius in (4.0, 60.0, 500.0):  # stencil, crossover, all
+            got = sorted(index.query((200, 150), radius))
+            want = sorted(i for i, p in pts.items()
+                          if space.dist((200, 150), p) <= radius)
+            assert got == want
+
+    def test_move_between_buckets(self):
+        index = SpatialIndex(EuclideanSpace(), cell=5.0)
+        index.insert(0, (0.0, 0.0))
+        index.move(0, (50.0, 0.0))
+        assert index.query((0.0, 0.0), 2.0) == []
+        assert index.query((50.0, 0.0), 2.0) == [0]
+        assert index.position(0) == (50.0, 0.0)
+
+
+class TestHotpathBench:
+    def test_report_shape_and_throughput(self, tmp_path):
+        from repro.bench.hotpath import run_hotpath
+
+        out = tmp_path / "hp.json"
+        report = run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                             out=out)
+        assert out.exists()
+        entry = report["entries"][0]
+        assert entry["scenario"] == "smallville"
+        assert entry["agent_steps"] == entry["n_agents"] * entry["n_steps"]
+        assert entry["agent_steps_per_sec"] > 0
+        assert entry["controller_time_s"] == pytest.approx(
+            entry["time_clustering_s"] + entry["time_graph_s"]
+            + entry["time_dispatch_s"])
+        assert entry["controller_rounds"] > 0
+
+    def test_baseline_comparison_and_gate(self, tmp_path):
+        from repro.bench.hotpath import check_report, run_hotpath
+
+        base = tmp_path / "base.json"
+        baseline = run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                               out=base)
+        # Halve the recorded baseline so the fresh run must show >= 2x.
+        for e in baseline["entries"]:
+            e["agent_steps_per_sec"] /= 2.0
+        base.write_text(json.dumps(baseline))
+        report = run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                             baseline=base)
+        entry = report["entries"][0]
+        assert entry["speedup_vs_baseline"] > 1.0
+        # gate passes at a trivial floor, fails at an absurd one
+        assert check_report(report, min_throughput=1.0,
+                            min_speedup=0.1) == []
+        failures = check_report(report, min_throughput=1e12,
+                                min_speedup=1e12)
+        assert len(failures) == 2
+
+    def test_cli_check_requires_baseline(self, tmp_path, capsys):
+        from repro.bench.cli import main as cli_main
+
+        rc = cli_main(["hotpath", "--scenario", "smallville",
+                       "--agents", "5", "--out", str(tmp_path / "hp.json"),
+                       "--baseline", str(tmp_path / "missing.json"),
+                       "--check"])
+        assert rc == 1  # a missing baseline must not pass the gate
+        assert "baseline" in capsys.readouterr().err
+
+    def test_cli_check_flags(self, tmp_path, capsys):
+        from repro.bench.cli import main as cli_main
+        from repro.bench.hotpath import run_hotpath
+
+        base = tmp_path / "base.json"
+        run_hotpath(scenarios=["smallville"], agent_counts=(5,), out=base)
+        out = tmp_path / "hp.json"
+        rc = cli_main(["hotpath", "--scenario", "smallville",
+                       "--agents", "5", "--out", str(out),
+                       "--baseline", str(base),
+                       "--check", "--min-throughput", "1",
+                       "--min-speedup", "0.1"])
+        assert rc == 0
+        assert out.exists()
+        assert "hotpath gate: ok" in capsys.readouterr().out
+
+    def test_driver_reports_cache_counters(self, synthetic_trace):
+        from repro.config import SchedulerConfig
+        from repro.core import run_replay
+
+        result = run_replay(synthetic_trace,
+                            SchedulerConfig(policy="metropolis"))
+        stats = result.driver_stats
+        assert stats.controller_time > 0
+        assert stats.controller_rounds > 0
+        # coalescing: rounds never exceed commits + the initial round
+        assert stats.controller_rounds <= stats.clusters_dispatched + 1
+        assert stats.extra["cluster_cache_hits"] >= 0
+        assert stats.extra["cluster_cache_misses"] > 0

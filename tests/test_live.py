@@ -85,6 +85,34 @@ class TestLiveSimulation:
         with pytest.raises(SchedulingError, match="boom"):
             sim.run(target_step=3)
 
+    def test_second_run_resets_state(self):
+        """A reused LiveSimulation must not leak stats, sequence numbers
+        or KV keys from the previous run (regression: counters and the
+        ``commits`` key used to accumulate across runs)."""
+        target1, target2 = 10, 20
+        ooo = _program(n_agents=5, seed=7)
+        sim = LiveSimulation(ooo, EchoLLMClient(), num_workers=2)
+        r1 = sim.run(target_step=target1)
+        assert sim.store.get("commits") == r1.clusters_executed
+        # stale *simulation* keys are cleaned; foreign keys survive
+        sim.store.hset("agent:99", "step", 123)
+        sim.store.set("app-key", "not-ours")
+        r2 = sim.run(target_step=target2, start_step=target1)
+        # stats and the store are per-run, not accumulated
+        assert r2 is not r1
+        assert r2.target_step == target2
+        assert sim.store.get("commits") == r2.clusters_executed
+        assert not sim.store.exists("agent:99")
+        assert sim.store.get("app-key") == "not-ours"
+        for aid in range(5):
+            assert sim.store.hget(f"agent:{aid}", "step") == target2
+        # and the world state still matches lock-step execution
+        ref = _program(n_agents=5, seed=7)
+        for step in range(target2):
+            ref.model.step_all(step)
+        assert [a.pos for a in ooo.model.agents] == \
+            [a.pos for a in ref.model.agents]
+
     @pytest.mark.parametrize("workers", [1, 4])
     def test_ooo_equals_lockstep_world_state(self, workers):
         """The paper's correctness claim under real threads."""
