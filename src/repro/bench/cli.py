@@ -22,9 +22,28 @@ from pathlib import Path
 from ..errors import ScenarioError
 from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
-from .hotpath import (AGENT_COUNTS, MIN_SPEEDUP, MIN_THROUGHPUT,
-                      check_report, format_report, run_hotpath)
+from .hotpath import (AGENT_COUNTS, BASELINE_PATH, MIN_SPEEDUP,
+                      MIN_THROUGHPUT, PREOVERHAUL_PATH, check_report,
+                      format_report, run_hotpath)
 from .smoke import run_smoke
+
+
+def _agent_list(value: str) -> list[int]:
+    """``--agents`` parser: comma-separated counts (also repeatable).
+
+    ``repro-bench hotpath --agents 25,100,2000`` overrides the matrix
+    without code edits; ad-hoc sweeps can mix styles
+    (``--agents 500 --agents 1000,2000``).
+    """
+    try:
+        counts = [int(tok) for tok in value.split(",") if tok.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid agent count list {value!r}") from None
+    if not counts or any(c <= 0 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"agent counts must be positive integers, got {value!r}")
+    return counts
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,23 +78,30 @@ def main(argv: list[str] | None = None) -> int:
     hot.add_argument("--scenario", action="append", default=None,
                      choices=scenario_names(), dest="scenarios",
                      help="limit to a scenario (repeatable)")
-    hot.add_argument("--agents", action="append", type=int, default=None,
-                     help="agent scale (repeatable; default "
-                          f"{list(AGENT_COUNTS)})")
+    hot.add_argument("--agents", action="append", type=_agent_list,
+                     default=None, metavar="N[,N...]",
+                     help="agent scales, comma-separated and/or "
+                          f"repeatable (default {list(AGENT_COUNTS)})")
     hot.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"),
                      help="write the JSON report here")
-    hot.add_argument("--baseline", type=Path,
-                     default=Path("benchmarks/baselines/"
-                                  "hotpath_baseline.json"),
+    hot.add_argument("--baseline", type=Path, default=BASELINE_PATH,
                      help="committed baseline report to compare against")
+    hot.add_argument("--history", type=Path, default=PREOVERHAUL_PATH,
+                     help="older baseline for the speedup_vs_preoverhaul "
+                          "trajectory column (missing file = skipped)")
     hot.add_argument("--check", action="store_true",
                      help="exit 1 if any entry misses the throughput "
-                          "floor or regresses vs. the baseline")
+                          "floor, regresses vs. the baseline, or a "
+                          "required matrix cell is absent")
     hot.add_argument("--min-throughput", type=float, default=MIN_THROUGHPUT,
                      help="absolute agent-steps/sec floor for --check")
     hot.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
                      help="required throughput ratio vs. baseline "
                           "for --check")
+    hot.add_argument("--require-agents", type=_agent_list, default=None,
+                     metavar="N[,N...]",
+                     help="matrix cells --check must find per scenario "
+                          "(default: the benchmarked agent list)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -107,16 +133,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: baseline {args.baseline} not found "
                   f"(required for --check)", file=sys.stderr)
             return 1
+        agent_counts = tuple(c for chunk in args.agents for c in chunk) \
+            if args.agents else AGENT_COUNTS
         report = run_hotpath(
-            scenarios=args.scenarios,
-            agent_counts=tuple(args.agents) if args.agents else AGENT_COUNTS,
-            baseline=args.baseline, out=args.out)
+            scenarios=args.scenarios, agent_counts=agent_counts,
+            baseline=args.baseline, history=args.history, out=args.out)
         print(format_report(report))
         if args.out is not None:
             print(f"[report written to {args.out}]")
         if args.check:
+            required = tuple(args.require_agents) \
+                if args.require_agents else agent_counts
             failures = check_report(report, args.min_throughput,
-                                    args.min_speedup)
+                                    args.min_speedup,
+                                    required_counts=required)
             if failures:
                 for failure in failures:
                     print(f"FAIL: {failure}", file=sys.stderr)

@@ -11,19 +11,23 @@ LLM/serving time is virtual and therefore excluded; the number tracks
 pure scheduler overhead.
 
 ``repro-bench hotpath`` writes the report to ``BENCH_hotpath.json`` and
-— given a committed baseline (``benchmarks/baselines/
-hotpath_baseline.json``, recorded before the scheduler overhaul) — a
-``speedup_vs_baseline`` per entry. ``--check`` turns the report into a
-CI gate: every entry must clear an absolute throughput floor and must
-not regress below ``min_speedup`` x its baseline.
+— given the committed baseline (``benchmarks/baselines/
+hotpath_pr2.json``, the PR 2 scheduler's numbers over the full matrix)
+— a ``speedup_vs_baseline`` per entry. The older pre-overhaul record
+(``benchmarks/baselines/hotpath_baseline.json``) rides along as
+``speedup_vs_preoverhaul`` where its cells exist, extending the
+perf-trajectory history. ``--check`` turns the report into a CI gate:
+every matrix cell (including the 2000-agent column) must be present,
+must clear an absolute throughput floor, must have a baseline
+counterpart (a baseline missing a cell fails loudly), and must not
+regress below ``min_speedup`` x its baseline.
 
 Baselines travel across machines: every report carries a
 ``calibration_ops_per_sec`` score from a fixed scheduler-shaped
-workload (dict/set churn + small numpy ops), and
-``speedup_vs_baseline`` is normalized by the calibration ratio, so a
-CI runner slower than the machine that recorded the baseline is not
-misread as a code regression (``raw_speedup_vs_baseline`` keeps the
-unnormalized ratio).
+workload (dict/set churn + small numpy ops), and the speedup columns
+are normalized by the calibration ratio, so a CI runner slower than
+the machine that recorded the baseline is not misread as a code
+regression (``raw_speedup_vs_baseline`` keeps the unnormalized ratio).
 """
 
 from __future__ import annotations
@@ -40,16 +44,23 @@ from ..errors import ScenarioError
 from ..scenarios import get_scenario, scenario_names
 from ..trace import generate_concatenated_trace
 
-#: Agent scales benchmarked (the paper's §4.3 scaling axis).
-AGENT_COUNTS = (25, 100, 500, 1000)
+#: Agent scales benchmarked (the paper's §4.3 scaling axis; the
+#: 2000-agent cell pins the flattened scaling curve of the zero-rescan
+#: scheduler).
+AGENT_COUNTS = (25, 100, 500, 1000, 2000)
 HOTPATH_SEED = 0
+#: Committed baselines: the PR 2 scheduler over the full matrix (the
+#: regression reference) and the pre-overhaul record kept for the
+#: trajectory history.
+BASELINE_PATH = Path("benchmarks/baselines/hotpath_pr2.json")
+PREOVERHAUL_PATH = Path("benchmarks/baselines/hotpath_baseline.json")
 #: Default CI gates: an absolute floor every entry must clear, and the
 #: minimum (calibration-normalized) throughput ratio vs. the committed
-#: baseline. Post-overhaul cells measure 20k-28k agent-steps/s on a dev
-#: machine, 1.27x-3x the committed baseline; the floor sits ~4x below
-#: the slowest cell and the ratio bar of 1.0 means "never slower than
-#: the pre-overhaul scheduler", leaving >=27% headroom for calibration
-#: noise across runners while any real regression on a cell fails.
+#: baseline. Post-zero-rescan cells measure 30k-43k agent-steps/s on a
+#: dev machine, 1.4x-2x the committed PR 2 baseline; the floor sits
+#: far below the slowest cell and the ratio bar of 1.0 means "never
+#: slower than the PR 2 scheduler", leaving >=40% headroom for
+#: calibration noise across runners while any real regression fails.
 MIN_THROUGHPUT = 5_000.0
 MIN_SPEEDUP = 1.0
 
@@ -132,12 +143,38 @@ def calibration_score(rounds: int = 5, iters: int = 100_000) -> float:
     return best
 
 
+def _annotate_speedups(entries: list[dict], cal: float,
+                       reference: dict, suffix: str) -> None:
+    """Attach ``speedup_vs_<suffix>`` columns against ``reference``.
+
+    Normalized for hardware speed: the reference throughput is scaled
+    by (this machine's calibration / the reference machine's).
+    """
+    ref_cal = reference.get("calibration_ops_per_sec")
+    scale = (ref_cal / cal) if (ref_cal and cal) else 1.0
+    by_key = {_entry_key(e): e for e in reference["entries"]}
+    for entry in entries:
+        ref = by_key.get(_entry_key(entry))
+        if ref and ref["agent_steps_per_sec"] > 0:
+            entry[f"{suffix}_agent_steps_per_sec"] = \
+                ref["agent_steps_per_sec"]
+            raw = entry["agent_steps_per_sec"] / ref["agent_steps_per_sec"]
+            entry[f"raw_speedup_vs_{suffix}"] = raw
+            entry[f"speedup_vs_{suffix}"] = raw * scale
+
+
 def run_hotpath(scenarios: list[str] | None = None,
                 agent_counts: tuple[int, ...] = AGENT_COUNTS,
                 policy: str = "metropolis",
                 baseline: Path | str | None = None,
+                history: Path | str | None = None,
                 out: Path | str | None = None) -> dict:
-    """Benchmark every (scenario, scale) cell; write/return the report."""
+    """Benchmark every (scenario, scale) cell; write/return the report.
+
+    ``baseline`` is the committed regression reference (the PR 2
+    scheduler); ``history`` optionally adds ``speedup_vs_preoverhaul``
+    against the pre-overhaul record for the trajectory view.
+    """
     names = scenarios or scenario_names()
     # Calibrate before the bench loop heats the machine up; best-of-N
     # approximates the unthrottled speed either way.
@@ -154,21 +191,12 @@ def run_hotpath(scenarios: list[str] | None = None,
     }
     baseline_report = load_baseline(baseline)
     if baseline_report is not None:
-        # Normalize for hardware speed: scale the baseline throughput
-        # by (this machine's calibration / the baseline machine's).
-        cal = report["calibration_ops_per_sec"]
-        base_cal = baseline_report.get("calibration_ops_per_sec")
-        scale = (base_cal / cal) if (base_cal and cal) else 1.0
-        by_key = {_entry_key(e): e for e in baseline_report["entries"]}
-        for entry in entries:
-            ref = by_key.get(_entry_key(entry))
-            if ref and ref["agent_steps_per_sec"] > 0:
-                entry["baseline_agent_steps_per_sec"] = \
-                    ref["agent_steps_per_sec"]
-                raw = (entry["agent_steps_per_sec"]
-                       / ref["agent_steps_per_sec"])
-                entry["raw_speedup_vs_baseline"] = raw
-                entry["speedup_vs_baseline"] = raw * scale
+        _annotate_speedups(entries, calibration, baseline_report,
+                           "baseline")
+    history_report = load_baseline(history)
+    if history_report is not None:
+        _annotate_speedups(entries, calibration, history_report,
+                           "preoverhaul")
     if out is not None:
         out = Path(out)
         if out.parent != Path(""):
@@ -189,9 +217,22 @@ def load_baseline(path: Path | str | None) -> dict | None:
 
 def check_report(report: dict,
                  min_throughput: float = MIN_THROUGHPUT,
-                 min_speedup: float = MIN_SPEEDUP) -> list[str]:
-    """The CI gate: returns human-readable failures (empty = pass)."""
+                 min_speedup: float = MIN_SPEEDUP,
+                 required_counts: tuple[int, ...] = ()) -> list[str]:
+    """The CI gate: returns human-readable failures (empty = pass).
+
+    ``required_counts`` additionally demands a report entry per
+    (scenario, count) — the 2000-agent scaling cell cannot silently
+    drop out of the matrix.
+    """
     failures = []
+    present = {(e["scenario"], e["n_agents"]) for e in report["entries"]}
+    for scenario in report.get("scenarios", []):
+        for count in required_counts:
+            if (scenario, count) not in present:
+                failures.append(
+                    f"{scenario}@{count}: required matrix cell missing "
+                    f"from the report")
     for entry in report["entries"]:
         label = (f"{entry['scenario']}@{entry['n_agents']} "
                  f"({entry['policy']})")
@@ -206,8 +247,8 @@ def check_report(report: dict,
             # degrade to floor-only (e.g. a new scenario or agent count
             # added without regenerating the committed baseline).
             failures.append(
-                f"{label}: no baseline entry — regenerate "
-                f"benchmarks/baselines/hotpath_baseline.json")
+                f"{label}: no baseline entry — regenerate the report "
+                f"passed via --baseline (default {BASELINE_PATH})")
         elif speedup < min_speedup:
             failures.append(
                 f"{label}: {speedup:.2f}x vs baseline, below the "
@@ -230,10 +271,11 @@ def format_report(report: dict) -> str:
     header = (f"{'scenario':<14}{'agents':>7}{'steps':>7}"
               f"{'ctrl-steps/s':>14}{'wall-steps/s':>14}"
               f"{'clustering':>11}{'graph':>9}{'dispatch':>9}"
-              f"{'rounds':>8}{'vs-base':>9}")
+              f"{'rounds':>8}{'vs-base':>9}{'vs-pre':>8}")
     lines = [header, "-" * len(header)]
     for e in report["entries"]:
         speedup = e.get("speedup_vs_baseline")
+        pre = e.get("speedup_vs_preoverhaul")
         lines.append(
             f"{e['scenario']:<14}{e['n_agents']:>7}{e['n_steps']:>7}"
             f"{e['agent_steps_per_sec']:>14.0f}"
@@ -243,5 +285,6 @@ def format_report(report: dict) -> str:
             f"{e['time_dispatch_s']:>8.3f}s"
             f"{e['controller_rounds']:>8}"
             + (f"{speedup:>8.2f}x" if speedup is not None else
-               f"{'-':>9}"))
+               f"{'-':>9}")
+            + (f"{pre:>7.2f}x" if pre is not None else f"{'-':>8}"))
     return "\n".join(lines)

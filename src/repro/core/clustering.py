@@ -11,12 +11,16 @@ threshold so both clustering and blocked-edge discovery touch only local
 candidates. Three hot-path refinements keep the controller's critical
 path light (§3.6):
 
-* for grid spaces the candidate cells come from a **precomputed
-  neighbor-offset stencil** (cached per query span) instead of a
-  generator, and membership uses the space's ``within`` predicate
-  (squared-distance compare for Euclidean — no sqrt per candidate);
+* for grid spaces the candidate cells are the **tight window spanned by
+  the query's bounding box** (a 2x2 window for the common
+  radius <= cell case), and membership uses the space's ``within``
+  predicate (squared-distance compare for Euclidean — no sqrt per
+  candidate);
 * :meth:`SpatialIndex.query_into` fills a **caller-owned buffer**, so
-  the per-commit queries of the dependency graph allocate nothing;
+  the per-round queries of the controller allocate nothing, and the
+  dependency graph's batched commits move members with caller-computed
+  cells (:meth:`SpatialIndex.move_bucketed`) against position storage
+  it shares with the graph;
 * for spaces without geometry (``GraphSpace``) everything degrades to a
   linear scan transparently.
 
@@ -29,7 +33,6 @@ and re-uses every other component verbatim.
 
 from __future__ import annotations
 
-import math
 from typing import Hashable, Iterable, Sequence
 
 from .._util import UnionFind
@@ -54,8 +57,6 @@ class SpatialIndex:
             def within(a, b, radius, _dist=dist):  # noqa: E306
                 return _dist(a, b) <= radius
         self._within = within
-        #: span -> neighbor-cell offset stencil, precomputed per radius.
-        self._stencils: dict[int, tuple[tuple[int, int], ...]] = {}
 
     def __len__(self) -> int:
         return len(self._positions)
@@ -100,14 +101,21 @@ class SpatialIndex:
             return
         self.insert(key, pos)
 
-    def _stencil(self, span: int) -> tuple[tuple[int, int], ...]:
-        stencil = self._stencils.get(span)
-        if stencil is None:
-            stencil = tuple((dx, dy)
-                            for dx in range(-span, span + 1)
-                            for dy in range(-span, span + 1))
-            self._stencils[span] = stencil
-        return stencil
+    def move_bucketed(self, key: Hashable, old_bucket: tuple,
+                      new_bucket: tuple) -> None:
+        """Bucket transfer with caller-computed cells (batched commits).
+
+        The dependency graph already derived every member's old/new cell
+        and owns the position storage (it aliases its dense position
+        list into :attr:`_positions`), so this touches only the bucket
+        sets. ``key`` must already be present.
+        """
+        members = self._buckets.get(old_bucket)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._buckets[old_bucket]
+        self._buckets.setdefault(new_bucket, set()).add(key)
 
     def query(self, pos: Position, radius: float) -> list[Hashable]:
         """Keys within ``radius`` of ``pos`` (inclusive)."""
@@ -125,26 +133,33 @@ class SpatialIndex:
         buckets = self._buckets
         within = self._within
         if self._grid:
+            # Tight cell window: candidates lie in the cells spanned by
+            # the query's bounding box — for the common radius <= cell
+            # case that is a 2x2 window, not a 3x3 center stencil.
             cell = self.cell
-            cx = int(pos[0] // cell)
-            cy = int(pos[1] // cell)
-            span = int(math.ceil(radius / cell))
-            if (2 * span + 1) ** 2 > len(buckets):
+            x = pos[0]
+            y = pos[1]
+            cx0 = int((x - radius) // cell)
+            cx1 = int((x + radius) // cell)
+            cy0 = int((y - radius) // cell)
+            cy1 = int((y + radius) // cell)
+            if (cx1 - cx0 + 1) * (cy1 - cy0 + 1) > len(buckets):
                 # Wide query (blocker radius grows with step spread):
                 # scanning the occupied buckets beats probing a mostly
-                # empty stencil.
+                # empty window.
                 for (bx, by), members in buckets.items():
-                    if abs(bx - cx) <= span and abs(by - cy) <= span:
+                    if cx0 <= bx <= cx1 and cy0 <= by <= cy1:
                         for key in members:
                             if within(pos, positions[key], radius):
                                 out.append(key)
                 return out
-            for dx, dy in self._stencil(span):
-                members = buckets.get((cx + dx, cy + dy))
-                if members:
-                    for key in members:
-                        if within(pos, positions[key], radius):
-                            out.append(key)
+            for bx in range(cx0, cx1 + 1):
+                for by in range(cy0, cy1 + 1):
+                    members = buckets.get((bx, by))
+                    if members:
+                        for key in members:
+                            if within(pos, positions[key], radius):
+                                out.append(key)
             return out
         seen_linear = False
         for bucket in self.space.bucket_range(pos, radius, self.cell):

@@ -18,21 +18,46 @@ only agents at strictly smaller steps can block — so re-examining members
 and their waiters covers every edge that can change.
 
 Storage is flat and array-backed (§3.6 light critical path): agent ids
-are required to be dense ``0..n-1``, and per-agent state lives in plain
-lists indexed by id instead of hash maps. A commit recomputes each
-member's blockers and its coupling-range neighborhood in one pass — the
-second coupling query per member that earlier versions ran from the
-controller's commit path is gone.
+are required to be dense ``0..n-1``, per-agent state lives in plain
+lists indexed by id, and a numpy position mirror serves the vectorized
+paths. :meth:`SpatioTemporalGraph.commit` takes a whole batch of
+finished clusters (ack coalescing hands the same-instant batch over at
+once) and retires it in one pass; batches of several agents take a
+vectorized bookkeeping path, and :class:`CommitResult` falls out of the
+same pass that recomputes blockers.
 
-The blocker scan itself is the graph's worst hot spot: its radius grows
-with the member's gap to the *global* min step, and on concatenated
-many-segment maps (§4.3) one straggler segment inflates every other
-segment's scan. For grid spaces the graph therefore keeps a coarse
-second-level grid with a **min-step aggregate per coarse cell**: a cell
-whose slowest agent is at step ``m`` can only contain blockers of A if
-it intersects ``block_threshold(step_A - m)``, so almost every far cell
-is dismissed with two comparisons and the scan stays local no matter
-how wide the step spread grows.
+The blocker work itself is bounded by three mechanisms that make
+steady-state commits (nearly) scan-free:
+
+* **step-bucketed blocker index** — agents are sharded into slots keyed
+  by ``(step, cell)``, kept densely packed in parallel numpy columns.
+  A full scan is one broadcasted mask over the live slots: each slot
+  carries its *exact* step, so it is dismissed against
+  ``block_threshold(its own gap)`` with no per-cell min-step slop and
+  no dependence on the global step spread, and only members of
+  surviving slots are touched;
+* **slack-bounded scan skipping** — a full scan records the agent's
+  *slack* (the minimum over all other agents of ``dist -
+  block_threshold(effective gap)``, clamped at a horizon every
+  dismissed slot provably exceeds) and its *near set* (the agents
+  inside the horizon). Per own commit the slack can shrink by at most
+  ``2 * max_vel``: the agent moves up to ``max_vel`` toward a threat
+  whose threshold grows by ``max_vel``, while a threat's own commits
+  never shrink the margin (its gap closes one step per ``max_vel`` of
+  approach). So while ``2 * max_vel * (step - scan_step) < slack`` a
+  commit skips blocker work entirely; while the shrink stays within
+  the horizon only the recorded near set is re-examined (a handful of
+  exact distance checks); only past the horizon does the indexed scan
+  re-run;
+* **blocked-pair wake steps** — symmetrically, a still-blocked check of
+  waiter A against blocker B at margin ``M = threshold - dist`` stays
+  true for B's next ``min(M // (2 * max_vel), gap - 1)`` commits, so
+  the pair carries a wake step and B's commits skip the geometry
+  re-check until B's step reaches it.
+
+All three bounds are conservative, so the maintained edge sets stay
+*exactly* equal to a from-scratch recomputation (the dict-reference
+fuzz model pins this).
 """
 
 from __future__ import annotations
@@ -46,8 +71,9 @@ from .clustering import SpatialIndex
 from .rules import DependencyRules
 from .space import Position
 
-#: ``cell_min`` sentinel for free coarse-grid slots (never < any step).
-_FREE_SLOT = np.iinfo(np.int64).max
+#: Batches at least this large take the vectorized bookkeeping path;
+#: smaller ones stay scalar (less fixed numpy overhead than the win).
+_VEC_BATCH = 8
 
 
 class CommitResult:
@@ -58,15 +84,22 @@ class CommitResult:
     unchanged. ``neighbors`` — agents within coupling range of a
     member's post-commit position: their cached cluster may need to
     merge with the mover, so incremental clustering must invalidate
-    them. Membership tests and iteration cover the union, so existing
-    ``aid in result`` call sites keep working.
+    them. ``member_neighbors`` — the same neighborhood split per
+    member: until the next commit these are exactly the member's
+    coupling candidates, so the controller's cluster BFS can seed from
+    them instead of re-querying the spatial index. Membership tests and
+    iteration cover the union, so existing ``aid in result`` call sites
+    keep working.
     """
 
-    __slots__ = ("unblocked", "neighbors")
+    __slots__ = ("unblocked", "neighbors", "member_neighbors")
 
-    def __init__(self, unblocked: set[int], neighbors: set[int]) -> None:
+    def __init__(self, unblocked: set[int], neighbors: set[int],
+                 member_neighbors: dict[int, list[int]] | None = None
+                 ) -> None:
         self.unblocked = unblocked
         self.neighbors = neighbors
+        self.member_neighbors = member_neighbors or {}
 
     def __contains__(self, aid: int) -> bool:
         return aid in self.unblocked or aid in self.neighbors
@@ -101,6 +134,24 @@ class SpatioTemporalGraph:
         self.running: list[bool] = [False] * n
         self.blocked_by: list[set[int]] = [set() for _ in range(n)]
         self.waiters: list[set[int]] = [set() for _ in range(n)]
+        #: Per blocked pair, the blocker step up to which the waiter is
+        #: provably still blocked: ``_wake[b][a] >= step[b]`` skips the
+        #: geometry re-check on b's commit (indexed by blocker).
+        self._wake: list[dict[int, int]] = [{} for _ in range(n)]
+        #: Slack-bound scan cache: step of the agent's last full blocker
+        #: scan, the slack it measured, and the near set (agents within
+        #: the slack horizon then; None = no valid scan yet).
+        self._scan_step: list[int] = [start_step] * n
+        self._scan_slack: list[float] = [0.0] * n
+        self._near: list[list[int] | None] = [None] * n
+        self._base_r = rules.radius_p + rules.max_vel
+        self._two_mv = 2.0 * rules.max_vel
+        #: Members this close to blocking at scan time land in the near
+        #: set and are re-examined exactly until the accumulated worst-
+        #: case slack shrink exceeds the horizon — only then does the
+        #: indexed scan re-run (every ``1 + horizon / (2 * max_vel)``
+        #: commits at worst).
+        self._slack_horizon = 8.0 * rules.max_vel
         self.index = SpatialIndex(rules.space,
                                   cell=max(rules.couple_threshold, 1.0))
         for aid in range(n):
@@ -109,70 +160,92 @@ class SpatioTemporalGraph:
         self._step_counts: dict[int, int] = {start_step: n}
         self._min_step = start_step
         self._max_step = start_step
-        #: Reusable spatial-query scratch buffer (allocation-free commits).
+        #: Reusable spatial-query scratch buffer (non-grid fallback).
         self._qbuf: list[int] = []
-        # Coarse min-step grid for the blocker scan (grid spaces only):
-        # slot-addressed numpy columns so the per-scan cell pruning is
-        # one vectorized mask instead of a Python loop.
-        self._grid_fast = self.index._grid
-        self._coarse_cell = self.index.cell * 16.0
-        cap = 64
-        self._cxy = np.zeros((2, cap), dtype=np.int64)
-        self._cmin = np.full(cap, _FREE_SLOT, dtype=np.int64)
-        self._cmembers: list[set[int] | None] = [None] * cap
-        self._cslot: dict[tuple[int, int], int] = {}
-        self._cfree: list[int] = list(range(cap - 1, -1, -1))
+        #: Grid fast path: the step-bucketed blocker index. Slots are
+        #: densely packed in [0, _bcount): scans slice the live prefix,
+        #: frees swap the last slot down — no free list, no sentinels.
+        self._grid_fast = self.index._grid and hasattr(rules.space,
+                                                       "within_mat")
         if self._grid_fast:
-            cc = self._coarse_cell
+            # Dense ids let the index read positions straight from the
+            # graph's own list: commits update one storage, and
+            # query_into sees every move for free.
+            self.index._positions = self.pos
+            self._posarr = np.array(
+                [[p[0], p[1]] for p in self.pos], dtype=np.float64
+            ) if n else np.zeros((0, 2), dtype=np.float64)
+            cap = 64
+            self._bstep = np.zeros(cap, dtype=np.int64)
+            self._bx = np.zeros(cap, dtype=np.int64)
+            self._by = np.zeros(cap, dtype=np.int64)
+            self._bmembers: list[set[int] | None] = [None] * cap
+            self._bkey: list[tuple[int, int, int] | None] = [None] * cap
+            self._bslot: dict[tuple[int, int, int], int] = {}
+            self._bcount = 0
+            cell = self.index.cell
             for aid in range(n):
                 p = self.pos[aid]
-                self._coarse_add((int(p[0] // cc), int(p[1] // cc)),
-                                 aid, start_step)
+                self._bucket_add(
+                    (start_step, int(p[0] // cell), int(p[1] // cell)),
+                    (aid,))
         # instrumentation
         self.blocked_events = 0
         self.unblock_events = 0
+        self.scans = 0
+        self.scan_skips = 0
+        self.near_checks = 0
+        self.wake_checks = 0
+        self.wake_skips = 0
 
-    # -- coarse min-step grid ----------------------------------------------
+    # -- step-bucketed blocker index ---------------------------------------
 
-    def _coarse_add(self, key: tuple[int, int], aid: int,
-                    step: int) -> None:
-        slot = self._cslot.get(key)
-        if slot is None:
-            if not self._cfree:
-                old_cap = self._cmin.shape[0]
-                new_cap = old_cap * 2
-                self._cxy = np.concatenate(
-                    [self._cxy, np.zeros((2, old_cap), dtype=np.int64)],
-                    axis=1)
-                self._cmin = np.concatenate(
-                    [self._cmin,
-                     np.full(old_cap, _FREE_SLOT, dtype=np.int64)])
-                self._cmembers.extend([None] * old_cap)
-                self._cfree.extend(range(new_cap - 1, old_cap - 1, -1))
-            slot = self._cfree.pop()
-            self._cslot[key] = slot
-            self._cxy[0, slot] = key[0]
-            self._cxy[1, slot] = key[1]
-            self._cmin[slot] = step
-            self._cmembers[slot] = {aid}
+    def _bucket_add(self, key: tuple[int, int, int],
+                    aids: Iterable[int]) -> None:
+        slot = self._bslot.get(key)
+        if slot is not None:
+            self._bmembers[slot].update(aids)
             return
-        self._cmembers[slot].add(aid)
-        if step < self._cmin[slot]:
-            self._cmin[slot] = step
+        slot = self._bcount
+        if slot == self._bstep.shape[0]:
+            grow = np.zeros(slot, dtype=np.int64)
+            self._bstep = np.concatenate([self._bstep, grow])
+            self._bx = np.concatenate([self._bx, grow])
+            self._by = np.concatenate([self._by, grow.copy()])
+            self._bmembers.extend([None] * slot)
+            self._bkey.extend([None] * slot)
+        self._bcount = slot + 1
+        self._bslot[key] = slot
+        self._bstep[slot] = key[0]
+        self._bx[slot] = key[1]
+        self._by[slot] = key[2]
+        self._bmembers[slot] = set(aids)
+        self._bkey[slot] = key
 
-    def _coarse_remove(self, key: tuple[int, int], aid: int,
-                       old_step: int) -> None:
-        slot = self._cslot[key]
-        members = self._cmembers[slot]
-        members.discard(aid)
-        if not members:
-            del self._cslot[key]
-            self._cmembers[slot] = None
-            self._cmin[slot] = _FREE_SLOT
-            self._cfree.append(slot)
-        elif self._cmin[slot] == old_step:
-            step = self.step
-            self._cmin[slot] = min(step[m] for m in members)
+    def _bucket_discard(self, key: tuple[int, int, int],
+                        aids: list[int]) -> None:
+        slot = self._bslot[key]
+        members = self._bmembers[slot]
+        if len(aids) == 1:
+            members.discard(aids[0])
+        else:
+            members.difference_update(aids)
+        if members:
+            return
+        # Swap the last live slot down so the live prefix stays dense.
+        del self._bslot[key]
+        last = self._bcount - 1
+        self._bcount = last
+        if slot != last:
+            self._bstep[slot] = self._bstep[last]
+            self._bx[slot] = self._bx[last]
+            self._by[slot] = self._by[last]
+            last_key = self._bkey[last]
+            self._bkey[slot] = last_key
+            self._bmembers[slot] = self._bmembers[last]
+            self._bslot[last_key] = slot
+        self._bkey[last] = None
+        self._bmembers[last] = None
 
     # -- queries ----------------------------------------------------------
 
@@ -205,50 +278,135 @@ class SpatioTemporalGraph:
     # -- edge maintenance --------------------------------------------------
 
     def compute_blockers(self, aid: int) -> set[int]:
-        """Scan for agents currently blocking ``aid`` (spatially pruned)."""
+        """Current blockers of ``aid`` (slack/near/scan fast paths).
+
+        A pure query: unlike the commit path it updates neither the
+        slack cache nor pair wake steps.
+        """
         s = self.step[aid]
         if s <= self._min_step:
             return set()
-        return self._scan_blockers(aid, s, self.pos[aid])
+        if not self._grid_fast:
+            return self._scan_fallback(aid, s, self.pos[aid])
+        shrink = self._two_mv * (s - self._scan_step[aid])
+        near = self._near[aid]
+        if near is not None:
+            if shrink < self._scan_slack[aid]:
+                return set()
+            if shrink <= self._slack_horizon:
+                blockers, _ = self._check_near(aid, s, near)
+                return blockers
+        pos_a = self.pos[aid]
+        cell = self.index.cell
+        self.scans += 1
+        blockers, _, _, _ = self._scan_rows(
+            [aid], [s],
+            [(int(pos_a[0] // cell), int(pos_a[1] // cell))], [pos_a])
+        return blockers[0]
 
-    def _scan_blockers(self, aid: int, s: int, pos_a: Position) -> set[int]:
-        """All agents blocking ``aid`` (which is at ``s`` / ``pos_a``).
+    def _check_near(self, aid: int, s: int, near: list[int]
+                    ) -> tuple[set[int], dict[int, float]]:
+        """Exact blocker check against the recorded near set only.
 
-        Grid spaces walk the coarse min-step grid: a cell whose slowest
-        agent is at gap ``g`` from ``aid`` is dismissed outright unless
-        it intersects ``block_threshold(g)``. Other spaces fall back to
-        one index query at the worst-case radius.
+        Sound while the accumulated worst-case slack shrink since the
+        recording scan stays within the horizon: every agent outside
+        the near set still holds positive slack, so only near members
+        can block.
         """
+        self.near_checks += 1
+        step = self.step
+        pos = self.pos
+        dist = self.rules.space.dist
+        base_r = self._base_r
+        mv = self.rules.max_vel
+        pa = pos[aid]
+        blockers: set[int] = set()
+        margins: dict[int, float] = {}
+        for bid in near:
+            g = s - step[bid]
+            if g <= 0:
+                continue
+            d = dist(pa, pos[bid])
+            thr = base_r + g * mv
+            if d <= thr:
+                blockers.add(bid)
+                margins[bid] = thr - d
+        return blockers, margins
+
+    def _scan_rows(self, ids: list[int], svs: list[int],
+                   cells: list[tuple[int, int]], ppos: list[Position]
+                   ) -> tuple[list[set[int]], list[float],
+                              list[dict[int, float]], list[list[int]]]:
+        """Full blocker scans via the step-bucketed index, one batch.
+
+        One broadcasted ``(rows, slots)`` mask over the live slot prefix
+        prunes the batch: a slot at exact effective gap ``g`` survives
+        only if its cell-level distance lower bound is within
+        ``slack_horizon`` of ``block_threshold(g)``. Only surviving
+        slots' members are examined. Returns per row the blocker set,
+        the measured slack (exact distances for examined members,
+        clamped at the horizon every dismissed slot provably exceeds),
+        the blocking margin per blocker (for wake steps), and the near
+        set (members within the horizon) that licenses scan-free
+        re-checks until the horizon is consumed.
+        """
+        m = self._bcount
+        mv = self.rules.max_vel
+        base_r = self._base_r
+        horizon = self._slack_horizon
+        cut = base_r + horizon
+        carr = np.array(cells, dtype=np.int64)
+        dc = np.abs(self._bx[:m][None, :] - carr[:, 0][:, None])
+        np.maximum(dc, np.abs(self._by[:m][None, :] - carr[:, 1][:, None]),
+                   out=dc)
+        gap = np.maximum(np.array(svs, dtype=np.int64)[:, None]
+                         - self._bstep[:m][None, :], 0)
+        hit = (dc - 1) * self.index.cell <= gap * mv + cut
+
+        blockers: list[set[int]] = [set() for _ in ids]
+        margins: list[dict[int, float]] = [{} for _ in ids]
+        nears: list[list[int]] = [[] for _ in ids]
+        slack = [horizon] * len(ids)
+        pos = self.pos
+        dist = self.rules.space.dist
+        bstep = self._bstep
+        members_of = self._bmembers
+        rows, slots = np.nonzero(hit)
+        for r, slot in zip(rows.tolist(), slots.tolist()):
+            aid = ids[r]
+            s = svs[r]
+            g = s - int(bstep[slot])
+            thr = base_r + g * mv if g > 0 else base_r
+            near_cut = thr + horizon
+            pa = ppos[r]
+            row_slack = slack[r]
+            row_blockers = blockers[r]
+            row_margins = margins[r]
+            row_near = nears[r]
+            blocking = g > 0
+            for bid in members_of[slot]:
+                if bid == aid:
+                    continue
+                d = dist(pa, pos[bid])
+                sl = d - thr
+                if sl < row_slack:
+                    row_slack = sl
+                if d <= near_cut:
+                    row_near.append(bid)
+                    if blocking and d <= thr:
+                        row_blockers.add(bid)
+                        row_margins[bid] = thr - d
+            slack[r] = row_slack
+        return blockers, slack, margins, nears
+
+    def _scan_fallback(self, aid: int, s: int, pos_a: Position) -> set[int]:
+        """Non-grid spaces: one index query at the worst-case radius."""
         step = self.step
         pos = self.pos
         rules = self.rules
-        max_vel = rules.max_vel
-        base_r = rules.radius_p + max_vel
-        blockers: set[int] = set()
-        within = self.index._within
-        if self._grid_fast:
-            cc = self._coarse_cell
-            ca_x = int(pos_a[0] // cc)
-            ca_y = int(pos_a[1] // cc)
-            # Conservative lower bound on the distance from pos_a to any
-            # point of each coarse cell (valid for L2/Linf/L1), against
-            # the cell's worst-case (oldest member) blocking threshold.
-            # Free slots carry a huge cell_min, failing the first test.
-            cmin = self._cmin
-            dx = np.abs(self._cxy[0] - ca_x)
-            dy = np.abs(self._cxy[1] - ca_y)
-            lower = (np.maximum(dx, dy) - 1) * cc
-            mask = (cmin < s) & (lower <= base_r + (s - cmin) * max_vel)
-            members_of = self._cmembers
-            for slot in np.nonzero(mask)[0]:
-                for bid in members_of[slot]:
-                    s_b = step[bid]
-                    if s_b < s and bid != aid and within(
-                            pos_a, pos[bid], base_r + (s - s_b) * max_vel):
-                        blockers.add(bid)
-            return blockers
         radius = rules.block_threshold(s - self._min_step)
         blocked = rules.blocked
+        blockers: set[int] = set()
         for bid in self.index.query_into(pos_a, radius, self._qbuf):
             if bid != aid and blocked(pos_a, s, pos[bid], step[bid]):
                 blockers.add(bid)
@@ -268,97 +426,343 @@ class SpatioTemporalGraph:
 
     def commit(self, aids: Iterable[int],
                new_positions: Mapping[int, Position]) -> CommitResult:
-        """Advance a finished cluster one step.
+        """Retire a batch of finished clusters, one step each.
 
-        Returns a :class:`CommitResult`: agents whose blocker set became
-        empty (newly dispatchable candidates, committed members
-        included) plus the agents within coupling range of the members'
-        new positions (whose cached clusters the controller must
-        refresh). One spatial query per member serves both purposes.
+        ``aids`` may span several clusters (ack coalescing hands the
+        whole same-instant batch over at once); every member advances
+        one step and moves. Returns a :class:`CommitResult`: agents
+        whose blocker set became empty (newly dispatchable candidates,
+        committed members included) plus the agents within coupling
+        range of the members' new positions (whose cached clusters the
+        controller must refresh).
         """
         members = list(aids)
-        step = self.step
-        pos = self.pos
         running = self.running
-        step_counts = self._step_counts
-        index = self.index
-        grid_fast = self._grid_fast
-        cc = self._coarse_cell
         for aid in members:
             if not running[aid]:
                 raise SchedulingError(f"agent {aid} was not running")
             running[aid] = False
+        if not members:
+            return CommitResult(set(), set())
+        if self._grid_fast:
+            unblocked, per_member = self._commit_grid(members, new_positions)
+        else:
+            unblocked, per_member = self._commit_generic(members,
+                                                         new_positions)
+        self._release_waiters(members, unblocked)
+        neighbors: set[int] = set()
+        for lst in per_member.values():
+            neighbors.update(lst)
+        return CommitResult(unblocked, neighbors, per_member)
+
+    def _advance_steps(self, members: list[int]) -> None:
+        """Step/min/max bookkeeping shared by both commit paths."""
+        step = self.step
+        counts = self._step_counts
+        max_step = self._max_step
+        for aid in members:
             old = step[aid]
-            step_counts[old] -= 1
-            if step_counts[old] == 0:
-                del step_counts[old]
+            c = counts[old] - 1
+            if c:
+                counts[old] = c
+            else:
+                del counts[old]
             new = old + 1
             step[aid] = new
-            step_counts[new] = step_counts.get(new, 0) + 1
-            old_pos = pos[aid]
-            new_pos = new_positions[aid]
-            pos[aid] = new_pos
-            index.move(aid, new_pos)
-            if grid_fast:
-                old_key = (int(old_pos[0] // cc), int(old_pos[1] // cc))
-                new_key = (int(new_pos[0] // cc), int(new_pos[1] // cc))
-                if new_key != old_key:
-                    self._coarse_remove(old_key, aid, old)
-                    self._coarse_add(new_key, aid, new)
-                else:
-                    slot = self._cslot[old_key]
-                    if self._cmin[slot] == old:
-                        self._cmin[slot] = min(
-                            step[m] for m in self._cmembers[slot])
-            if new > self._max_step:
-                self._max_step = new
+            counts[new] = counts.get(new, 0) + 1
+            if new > max_step:
+                max_step = new
+        self._max_step = max_step
         # Steps only grow, so min_step is non-decreasing: walk it up
         # only when the committed members drained its bucket.
-        if step_counts and self._min_step not in step_counts:
+        if counts and self._min_step not in counts:
             ms = self._min_step
-            while ms not in step_counts:
+            while ms not in counts:
                 ms += 1
             self._min_step = ms
-        min_step = self._min_step
-        rules = self.rules
-        couple_r = rules.couple_threshold
-        unblocked: set[int] = set()
-        neighbors: set[int] = set()
-        blocked_by = self.blocked_by
+
+    def _register_blockers(self, aid: int, s: int, new_blockers: set[int],
+                           margins: dict[int, float]) -> None:
+        self.blocked_events += 1
+        self.blocked_by[aid] = new_blockers
         waiters = self.waiters
+        wake = self._wake
+        step = self.step
+        for bid in new_blockers:
+            waiters[bid].add(aid)
+            wake[bid][aid] = self._wake_step(step[bid], s - step[bid],
+                                             margins[bid])
+
+    def _commit_grid(self, members: list[int],
+                     new_positions: Mapping[int, Position]
+                     ) -> tuple[set[int], dict[int, list[int]]]:
+        k = len(members)
+        step = self.step
+        pos = self.pos
+        posarr = self._posarr
+        index = self.index
+        cell = index.cell
+        move_bucketed = index.move_bucketed
+        nc_list: list[tuple[int, int]] = []
+        if k >= _VEC_BATCH:
+            # Vectorized cell derivation: one numpy pass for the whole
+            # batch serves the fine index and the step-bucketed index
+            # alike (both match Space.bucket semantics), and grouped
+            # slot migration retires shared (step, cell) keys once.
+            removals: dict[tuple[int, int, int], list[int]] = {}
+            additions: dict[tuple[int, int, int], list[int]] = {}
+            marr = np.fromiter(members, dtype=np.int64, count=k)
+            newpos = np.array([new_positions[aid] for aid in members],
+                              dtype=np.float64)
+            oldpos = posarr[marr]
+            posarr[marr] = newpos
+            oc_pairs = np.floor_divide(oldpos, cell).astype(
+                np.int64).tolist()
+            nc_pairs = np.floor_divide(newpos, cell).astype(
+                np.int64).tolist()
+            for i, aid in enumerate(members):
+                old_step = step[aid]
+                pos[aid] = new_positions[aid]
+                ox, oy = oc_pairs[i]
+                nc = (nc_pairs[i][0], nc_pairs[i][1])
+                nc_list.append(nc)
+                if nc[0] != ox or nc[1] != oy:
+                    move_bucketed(aid, (ox, oy), nc)
+                removals.setdefault((old_step, ox, oy), []).append(aid)
+                additions.setdefault((old_step + 1,) + nc, []).append(aid)
+            self._advance_steps(members)
+            # Old keys never collide with new ones (the step advanced).
+            for key, ids in removals.items():
+                self._bucket_discard(key, ids)
+            for key, ids in additions.items():
+                self._bucket_add(key, ids)
+        else:
+            # Small batch (the steady-state norm): one fused pass per
+            # member, no grouping dicts, bucket transfer only on cell
+            # crossings.
+            for aid in members:
+                old_step = step[aid]
+                old_p = pos[aid]
+                new_p = new_positions[aid]
+                pos[aid] = new_p
+                x = new_p[0]
+                y = new_p[1]
+                posarr[aid, 0] = x
+                posarr[aid, 1] = y
+                ox = int(old_p[0] // cell)
+                oy = int(old_p[1] // cell)
+                nx = int(x // cell)
+                ny = int(y // cell)
+                if nx != ox or ny != oy:
+                    move_bucketed(aid, (ox, oy), (nx, ny))
+                nc_list.append((nx, ny))
+                self._bucket_discard((old_step, ox, oy), (aid,))
+                self._bucket_add((old_step + 1, nx, ny), (aid,))
+            self._advance_steps(members)
+
+        # Blocker work, slack-gated per member: skip entirely while the
+        # recorded slack outlasts the worst-case shrink, re-examine only
+        # the near set while the shrink stays within the horizon, and
+        # fall back to the indexed scan only past it.
+        min_step = self._min_step
+        two_mv = self._two_mv
+        horizon = self._slack_horizon
+        scan_step = self._scan_step
+        scan_slack = self._scan_slack
+        near_sets = self._near
+        unblocked: set[int] = set()
+        scan_rows: list[int] = []
+        for i, aid in enumerate(members):
+            s = step[aid]
+            if s <= min_step:
+                unblocked.add(aid)
+                continue
+            near = near_sets[aid]
+            if near is not None:
+                shrink = two_mv * (s - scan_step[aid])
+                if shrink < scan_slack[aid]:
+                    self.scan_skips += 1
+                    unblocked.add(aid)
+                    continue
+                if shrink <= horizon:
+                    new_blockers, margins = self._check_near(aid, s, near)
+                    if new_blockers:
+                        self._register_blockers(aid, s, new_blockers,
+                                                margins)
+                    else:
+                        unblocked.add(aid)
+                    continue
+            scan_rows.append(i)
+        if scan_rows:
+            self.scans += len(scan_rows)
+            ids = [members[i] for i in scan_rows]
+            svs = [step[a] for a in ids]
+            cells = [nc_list[i] for i in scan_rows]
+            ppos = [pos[a] for a in ids]
+            found, slacks, margins, nears = self._scan_rows(ids, svs,
+                                                            cells, ppos)
+            for r, aid in enumerate(ids):
+                scan_step[aid] = svs[r]
+                scan_slack[aid] = slacks[r]
+                near_sets[aid] = nears[r]
+                new_blockers = found[r]
+                if new_blockers:
+                    self._register_blockers(aid, svs[r], new_blockers,
+                                            margins[r])
+                else:
+                    unblocked.add(aid)
+        return unblocked, self._neighbors_grid(members)
+
+    def _neighbors_grid(self, members: list[int]
+                        ) -> dict[int, list[int]]:
+        """Per-member coupling-range neighborhoods, one pass.
+
+        Candidates come from each member's cell window (the coupling
+        radius never exceeds the cell size, so the window spanned by
+        the query box is 2x2 in the common case, up to 3x3 when the
+        box is boundary-aligned). Small batches query the index per
+        member; large ones collect the candidate union and run one
+        vectorized distance matrix.
+        """
+        buckets = self.index._buckets
+        pos = self.pos
+        cell = self.index.cell
+        r = self.rules.couple_threshold
+        per_member: dict[int, list[int]] = {}
+        if len(members) < _VEC_BATCH:
+            query_into = self.index.query_into
+            qbuf = self._qbuf
+            for aid in members:
+                per_member[aid] = [bid for bid
+                                   in query_into(pos[aid], r, qbuf)
+                                   if bid != aid]
+            return per_member
+        cand: set[int] = set()
+        seen: set[tuple[int, int]] = set()
+        for aid in members:
+            pa = pos[aid]
+            x = pa[0]
+            y = pa[1]
+            cx0 = int((x - r) // cell)
+            cx1 = int((x + r) // cell)
+            cy0 = int((y - r) // cell)
+            cy1 = int((y + r) // cell)
+            for bx in range(cx0, cx1 + 1):
+                for by in range(cy0, cy1 + 1):
+                    key = (bx, by)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    b = buckets.get(key)
+                    if b:
+                        cand.update(b)
+        clist = list(cand)
+        mpos = np.array([[pos[a][0], pos[a][1]] for a in members],
+                        dtype=np.float64)
+        cpos = self._posarr[np.fromiter(clist, dtype=np.int64,
+                                        count=len(clist))]
+        dx = mpos[:, 0][:, None] - cpos[:, 0][None, :]
+        dy = mpos[:, 1][:, None] - cpos[:, 1][None, :]
+        mask = self.rules.space.within_mat(dx, dy, r)
+        for aid in members:
+            per_member[aid] = []
+        rows, cols = np.nonzero(mask)
+        for i, c in zip(rows.tolist(), cols.tolist()):
+            bid = clist[c]
+            aid = members[i]
+            if bid != aid:
+                per_member[aid].append(bid)
+        return per_member
+
+    def _commit_generic(self, members: list[int],
+                        new_positions: Mapping[int, Position]
+                        ) -> tuple[set[int], dict[int, list[int]]]:
+        """Non-grid spaces: per-member queries (no numpy batch path)."""
+        step = self.step
+        pos = self.pos
+        index = self.index
+        for aid in members:
+            new_p = new_positions[aid]
+            pos[aid] = new_p
+            index.move(aid, new_p)
+        self._advance_steps(members)
+        min_step = self._min_step
+        couple_r = self.rules.couple_threshold
         qbuf = self._qbuf
-        # Members may now be blocked at their new step; the same pass
-        # also yields their coupling-range neighborhood.
+        unblocked: set[int] = set()
+        per_member: dict[int, list[int]] = {}
+        block_threshold = self.rules.block_threshold
+        dist = self.rules.space.dist
         for aid in members:
             s = step[aid]
             pos_a = pos[aid]
-            old_blockers = blocked_by[aid]
-            for bid in old_blockers:
-                waiters[bid].discard(aid)
             if s > min_step:
-                new_blockers = self._scan_blockers(aid, s, pos_a)
+                self.scans += 1
+                new_blockers = self._scan_fallback(aid, s, pos_a)
             else:
                 new_blockers = set()
-            for bid in index.query_into(pos_a, couple_r, qbuf):
-                if bid != aid:
-                    neighbors.add(bid)
-            blocked_by[aid] = new_blockers
-            for bid in new_blockers:
-                waiters[bid].add(aid)
+            per_member[aid] = [bid for bid
+                               in index.query_into(pos_a, couple_r, qbuf)
+                               if bid != aid]
             if new_blockers:
-                self.blocked_events += 1
+                margins = {
+                    bid: block_threshold(s - step[bid])
+                    - dist(pos_a, pos[bid])
+                    for bid in new_blockers}
+                self._register_blockers(aid, s, new_blockers, margins)
             else:
                 unblocked.add(aid)
-        # Waiters of members may be released (or still held).
-        blocked = rules.blocked
-        for aid in members:
-            pos_a = pos[aid]
-            s = step[aid]
-            for waiter in list(waiters[aid]):
-                if not blocked(pos[waiter], step[waiter], pos_a, s):
-                    waiters[aid].discard(waiter)
-                    blocked_by[waiter].discard(aid)
-                    if not blocked_by[waiter]:
-                        unblocked.add(waiter)
-                        self.unblock_events += 1
-        return CommitResult(unblocked, neighbors)
+        return unblocked, per_member
+
+    def _wake_step(self, blocker_step: int, gap: int, margin: float) -> int:
+        """Last blocker step at which the pair is provably still blocked.
+
+        Per blocker commit the margin shrinks by at most ``2 * max_vel``
+        (it moves up to ``max_vel`` away while the threshold drops by
+        ``max_vel``), and the pair dissolves outright once the gap
+        closes — whichever bound is nearer.
+        """
+        two_mv = self._two_mv
+        free = int(margin // two_mv) if two_mv else gap - 1
+        if free > gap - 1:
+            free = gap - 1
+        return blocker_step + free
+
+    def _release_waiters(self, members: list[int],
+                         unblocked: set[int]) -> None:
+        """Re-examine (or wake-skip) every waiter of the committed batch."""
+        step = self.step
+        pos = self.pos
+        waiters = self.waiters
+        blocked_by = self.blocked_by
+        wake = self._wake
+        dist = self.rules.space.dist
+        base_r = self._base_r
+        mv = self.rules.max_vel
+        for b in members:
+            w = waiters[b]
+            if not w:
+                continue
+            s_b = step[b]
+            pos_b = pos[b]
+            wake_b = wake[b]
+            for a in list(w):
+                wk = wake_b.get(a)
+                if wk is not None and s_b <= wk:
+                    self.wake_skips += 1
+                    continue
+                self.wake_checks += 1
+                g = step[a] - s_b
+                if g > 0:
+                    d = dist(pos[a], pos_b)
+                    thr = base_r + g * mv  # == block_threshold(g)
+                    if d <= thr:
+                        wake_b[a] = self._wake_step(s_b, g, thr - d)
+                        continue
+                w.discard(a)
+                wake_b.pop(a, None)
+                bb = blocked_by[a]
+                bb.discard(b)
+                if not bb:
+                    unblocked.add(a)
+                    self.unblock_events += 1

@@ -17,12 +17,14 @@ The controller's critical path is kept light (§3.6) three ways:
   between commits (:class:`~repro.core.clustering.ClusterCache`); only
   agents that moved, stepped, or gained a new coupling-range neighbor
   are re-BFS'd, everything else re-uses its memoized component;
-* **ack coalescing** — commits landing at the same virtual instant fold
-  their dirty frontiers into one controller round instead of running a
-  full round per ack;
-* **single-query commits** — the dependency graph returns the coupling
-  neighborhood of each committed member from the same spatial query that
-  recomputes its blockers, so the controller never re-queries.
+* **ack coalescing with batched commits** — clusters finishing at the
+  same virtual instant accumulate and the flush retires the whole batch
+  through *one* vectorized :meth:`SpatioTemporalGraph.commit` (one
+  broadcasted blocker-scan pass, one neighborhood pass) followed by one
+  controller round, instead of a commit + round per ack;
+* **single-pass commits** — the dependency graph returns the batch's
+  coupling neighborhood and newly unblocked agents from the same pass
+  that recomputes blockers, so the controller never re-queries.
 """
 
 from __future__ import annotations
@@ -55,8 +57,15 @@ class MetropolisDriver:
         self.stats = DriverStats()
         self.n_steps = trace.meta.n_steps
         n = trace.meta.n_agents
+        #: Per-agent position rows as plain tuples: the commit path
+        #: reads one position per member per step, and indexing a
+        #: prebuilt list beats unpacking the trace's numpy row each
+        #: time.
+        self._pos_rows = [
+            [(int(x), int(y)) for x, y in row]
+            for row in trace.positions.tolist()]
         self.graph = SpatioTemporalGraph(
-            self.rules, {aid: trace.pos(aid, 0) for aid in range(n)})
+            self.rules, {aid: self._pos_rows[aid][0] for aid in range(n)})
         #: Agents finished with their previous step and not yet dispatched.
         self.ready: set[int] = set(range(n))
         self.done: set[int] = set()
@@ -72,10 +81,16 @@ class MetropolisDriver:
         self._pending: list[tuple[float, int, list[int], int]] = []
         self._pending_seq = 0
         self._busy_workers = 0
-        #: Ack coalescing: dirty agents accumulated across same-instant
-        #: commits, flushed by one controller round.
+        #: Ack coalescing: clusters finished at the same virtual instant
+        #: accumulate here and retire through one batched graph commit
+        #: plus one controller round at the flush.
+        self._commit_buf: list[tuple[int, list[int]]] = []
         self._dirty_accum: set[int] = set()
         self._flush_scheduled = False
+        #: Per-member coupling candidates from the latest batch commit:
+        #: exact until the next commit, so the very next round's cluster
+        #: BFS seeds from them instead of re-querying the index.
+        self._fresh_neighbors: dict[int, list[int]] = {}
         #: §6 hybrid deployment: latency-critical agents (see
         #: SchedulerConfig.interactive_agents).
         self._interactive = frozenset(config.interactive_agents)
@@ -109,7 +124,11 @@ class MetropolisDriver:
             cluster = cached(aid)
             if cluster is None:
                 cluster = self._collect_cluster(aid, visited)
-                self._clusters.store(cluster)
+                if len(cluster) > 1:
+                    # Singletons are one spatial query to rebuild and
+                    # are invalidated on dispatch anyway: memoizing them
+                    # costs more than it saves.
+                    self._clusters.store(cluster)
             else:
                 visited.update(cluster)
             if not any(is_blocked[m] for m in cluster):
@@ -142,11 +161,15 @@ class MetropolisDriver:
         members = []
         visited.add(seed_aid)
         qbuf: list[int] = []
+        fresh = self._fresh_neighbors
         while stack:
             aid = stack.pop()
             members.append(aid)
-            for other in graph.index.query_into(graph.pos[aid],
-                                                threshold, qbuf):
+            candidates = fresh.get(aid)
+            if candidates is None:
+                candidates = graph.index.query_into(graph.pos[aid],
+                                                    threshold, qbuf)
+            for other in candidates:
                 if other == aid or other in visited:
                     continue
                 if graph.step[other] != step:
@@ -243,11 +266,21 @@ class MetropolisDriver:
         request_priority = self._cluster_priority(step, cluster) \
             if (self._interactive and self.config.interactive_boost) \
             else float(step)
+        # One kernel event launches the whole cluster's chains (they all
+        # share the dispatch overhead instant and the completion hook).
+        self.kernel.call_in(
+            self.config.overhead.controller_dispatch,
+            self._launch_cluster, cid, cluster, step, request_priority)
+
+    def _launch_cluster(self, cid: int, cluster: list[int], step: int,
+                        priority: float) -> None:
+        run_task = self.executor.run_task
+
+        def done(a: int, s: int) -> None:
+            self._task_done(cid, a, s)
+
         for aid in cluster:
-            self.kernel.call_in(
-                self.config.overhead.controller_dispatch,
-                self.executor.run_task, aid, step, request_priority,
-                lambda a, s, cid=cid: self._task_done(cid, a, s))
+            run_task(aid, step, priority, done)
 
     def _task_done(self, cid: int, aid: int, step: int) -> None:
         self.stats.tasks_completed += 1
@@ -262,11 +295,30 @@ class MetropolisDriver:
         del self._cluster_remaining[cid]
         self._running_clusters -= 1
         self._busy_workers -= 1
+        # Ack coalescing: clusters finishing at the same virtual instant
+        # accumulate and retire as one batched graph commit at the flush
+        # (scheduled at the same timestamp, after the commits).
+        self._commit_buf.append((step, members))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.kernel.call_in(0.0, self._flush_controller_round)
+
+    def _retire_commits(self) -> None:
+        """Apply every accumulated cluster in one vectorized graph commit."""
+        batch, self._commit_buf = self._commit_buf, []
+        if not batch:
+            return
         t0 = perf_counter()
-        trace_pos = self.trace.pos
-        new_positions = {aid: trace_pos(aid, step + 1) for aid in members}
+        pos_rows = self._pos_rows
+        members_all: list[int] = []
+        new_positions: dict[int, tuple] = {}
+        for step, members in batch:
+            members_all += members
+            nxt = step + 1
+            for aid in members:
+                new_positions[aid] = pos_rows[aid][nxt]
         graph = self.graph
-        result = graph.commit(members, new_positions)
+        result = graph.commit(members_all, new_positions)
         spread = graph.max_step - graph.min_step
         if spread > self.stats.max_step_spread:
             self.stats.max_step_spread = spread
@@ -275,9 +327,12 @@ class MetropolisDriver:
         # A mover's coupling neighborhood may merge with its component;
         # drop those memoized components before the next round.
         self._clusters.invalidate(result.neighbors)
+        # Until the next commit these are each member's exact coupling
+        # candidates — the flush round's BFS seeds from them for free.
+        self._fresh_neighbors = result.member_neighbors
         dirty = self._dirty_accum
         n_steps = self.n_steps
-        for aid in members:
+        for aid in members_all:
             if aid in self._interactive:
                 now = self.kernel.now
                 self.interactive_latencies.append(
@@ -296,17 +351,18 @@ class MetropolisDriver:
         for aid in result.neighbors:
             if aid in ready:
                 dirty.add(aid)
-        self.stats.blocked_events = graph.blocked_events
-        self.stats.unblock_events = graph.unblock_events
-        self.stats.time_graph += perf_counter() - t0
-        # Ack coalescing: commits at the same virtual instant share one
-        # controller round (the flush runs after them, same timestamp).
-        if not self._flush_scheduled:
-            self._flush_scheduled = True
-            self.kernel.call_in(0.0, self._flush_controller_round)
+        stats = self.stats
+        stats.blocked_events = graph.blocked_events
+        stats.unblock_events = graph.unblock_events
+        stats.extra["graph_scans"] = graph.scans
+        stats.extra["graph_scan_skips"] = graph.scan_skips
+        stats.extra["graph_near_checks"] = graph.near_checks
+        stats.extra["graph_wake_skips"] = graph.wake_skips
+        stats.time_graph += perf_counter() - t0
 
     def _flush_controller_round(self) -> None:
         self._flush_scheduled = False
+        self._retire_commits()
         dirty, self._dirty_accum = self._dirty_accum, set()
         self._controller_round(dirty)
 

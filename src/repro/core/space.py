@@ -12,6 +12,8 @@ import math
 from collections import deque
 from typing import Hashable, Iterable, Protocol
 
+import numpy as np
+
 from ..errors import ConfigError
 
 Position = Hashable
@@ -20,11 +22,16 @@ Position = Hashable
 class Space(Protocol):
     """A metric over agent positions.
 
-    Spaces may additionally provide two optional performance hooks the
-    :class:`~repro.core.clustering.SpatialIndex` exploits:
+    Spaces may additionally provide optional performance hooks the
+    :class:`~repro.core.clustering.SpatialIndex` and the dependency
+    graph's batched commit path exploit:
 
     * ``within(a, b, radius) -> bool`` — radius membership without
       computing the distance itself (Euclidean skips the sqrt);
+    * ``within_mat(dx, dy, radius) -> bool ndarray`` — the same
+      predicate over numpy coordinate-delta arrays, used to test a
+      whole cluster against its candidate neighborhood in one
+      vectorized pass;
     * ``grid_bucketing = True`` — declares that :meth:`bucket` returns
       2D integer cells, enabling precomputed neighbor-cell offsets.
     """
@@ -77,6 +84,10 @@ class EuclideanSpace(_Grid2D):
         dy = a[1] - b[1]
         return dx * dx + dy * dy <= radius * radius
 
+    @staticmethod
+    def within_mat(dx, dy, radius: float):
+        return dx * dx + dy * dy <= radius * radius
+
 
 class ChebyshevSpace(_Grid2D):
     """L-infinity distance (square perception windows on grids)."""
@@ -87,6 +98,10 @@ class ChebyshevSpace(_Grid2D):
     def within(self, a, b, radius: float) -> bool:
         return abs(a[0] - b[0]) <= radius and abs(a[1] - b[1]) <= radius
 
+    @staticmethod
+    def within_mat(dx, dy, radius: float):
+        return np.maximum(np.abs(dx), np.abs(dy)) <= radius
+
 
 class ManhattanSpace(_Grid2D):
     """L1 distance (4-connected grid movement)."""
@@ -96,6 +111,10 @@ class ManhattanSpace(_Grid2D):
 
     def within(self, a, b, radius: float) -> bool:
         return abs(a[0] - b[0]) + abs(a[1] - b[1]) <= radius
+
+    @staticmethod
+    def within_mat(dx, dy, radius: float):
+        return np.abs(dx) + np.abs(dy) <= radius
 
 
 class GraphSpace:

@@ -181,10 +181,13 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
 
     def _try_retire(self, cid: int) -> None:
         if self._flush_scheduled:
-            # A coalesced controller round is pending; it may squash this
+            # A coalesced controller round is pending: unretired cluster
+            # commits sit in the batch buffer (the dependency graph does
+            # not reflect them yet), and the round may squash this
             # speculation against agents that just became ready. Retiring
-            # first would dispatch members the round must still be able
-            # to absorb — the post-flush sweep retries.
+            # first would both read stale blocker state and dispatch
+            # members the round must still be able to absorb — the
+            # post-flush sweep retries.
             return
         spec = self._spec.get(cid)
         if spec is None or spec["chains_left"] > 0:

@@ -6,12 +6,15 @@ Faithful to the paper's architecture at thread granularity:
   graph, geo-clusters ready agents, and feeds dispatchable clusters into
   a priority ``ready_queue`` (ordered by step, §3.5);
 * **workers** (a thread pool) pull clusters, run the world program's
-  ``execute`` for the members — which issues blocking LLM calls — then
-  commit the members' new state to the KV store in one optimistic
-  transaction (§3.6 keeps this state in Redis) and acknowledge through
-  the ``ack_queue``;
-* on each ack the controller advances the graph and dispatches whatever
-  became ready, exactly like the virtual-time driver.
+  ``execute`` for the members — which issues blocking LLM calls — read
+  the members' positions once in bulk, commit the new state to the KV
+  store in one optimistic transaction (§3.6 keeps this state in Redis)
+  and acknowledge — positions included — through the ``ack_queue``;
+* the controller drains every pending ack, retires the whole batch
+  through one vectorized graph commit (the ack payload already carries
+  the positions, so the controller never re-derives
+  ``program.position()``), and dispatches whatever became ready,
+  exactly like the virtual-time driver.
 
 ``policy="parallel-sync"`` degrades the controller to one global cluster
 per step (Algorithm 1), which is both a baseline and the reference for
@@ -101,15 +104,26 @@ class LiveSimulation:
             _, _, cluster, step = item
             try:
                 self.program.execute(step, cluster, self.client)
-                self._commit_to_store(step, cluster)
-                self._ack_queue.put(("ok", step, cluster))
+                # One bulk position read per commit; the ack carries it
+                # so the controller never re-derives positions.
+                positions = self._positions_of(cluster)
+                self._commit_to_store(step, cluster, positions)
+                self._ack_queue.put(("ok", step, cluster, positions))
             except BaseException as exc:  # surface worker crashes
-                self._ack_queue.put(("error", step, exc))
+                self._ack_queue.put(("error", step, exc, None))
                 return
 
-    def _commit_to_store(self, step: int, cluster: list[int]) -> None:
+    def _positions_of(self, aids) -> dict:
+        """Bulk position read: the program's batch hook, or per-agent."""
+        reader = getattr(self.program, "positions", None)
+        if reader is not None:
+            return dict(reader(aids))
+        position = self.program.position
+        return {aid: position(aid) for aid in aids}
+
+    def _commit_to_store(self, step: int, cluster: list[int],
+                         positions: dict) -> None:
         """Transactionally persist the members' post-step state."""
-        positions = {aid: self.program.position(aid) for aid in cluster}
 
         def body(txn) -> None:
             for aid in cluster:
@@ -143,12 +157,12 @@ class LiveSimulation:
         # hold unrelated application data.
         self.store.delete(*self.store.keys("agent:"), "commits")
         n = self.program.n_agents
+        pos0 = self._positions_of(list(range(n)))
         for aid in range(n):
             self.store.hset(f"agent:{aid}", "step", start_step)
-            self.store.hset(f"agent:{aid}", "pos", self.program.position(aid))
-        graph = SpatioTemporalGraph(
-            self.rules, {aid: self.program.position(aid) for aid in range(n)},
-            start_step=start_step)
+            self.store.hset(f"agent:{aid}", "pos", pos0[aid])
+        graph = SpatioTemporalGraph(self.rules, pos0,
+                                    start_step=start_step)
         workers = [threading.Thread(target=self._worker_loop, daemon=True)
                    for _ in range(self.num_workers)]
         start = time.monotonic()
@@ -181,17 +195,17 @@ class LiveSimulation:
         self._stats.clusters_executed += 1
         self._stats.cluster_size_sum += len(cluster)
 
-    def _check_ack(self, item) -> tuple[int, list[int]]:
-        kind, step, payload = item
+    def _check_ack(self, item) -> tuple[int, list[int], dict]:
+        kind, step, payload, positions = item
         if kind == "error":
             raise SchedulingError(
                 f"worker failed at step {step}: {payload!r}") from payload
-        return step, payload
+        return step, payload, positions
 
-    def _await_ack(self) -> tuple[int, list[int]]:
+    def _await_ack(self) -> tuple[int, list[int], dict]:
         return self._check_ack(self._ack_queue.get())
 
-    def _poll_ack(self) -> tuple[int, list[int]] | None:
+    def _poll_ack(self) -> tuple[int, list[int], dict] | None:
         """A non-blocking ack, or None when the queue is drained."""
         try:
             item = self._ack_queue.get_nowait()
@@ -219,8 +233,10 @@ class LiveSimulation:
                 raise SchedulingError(
                     f"live scheduler stalled: done={len(done)}/{n}")
             # Ack coalescing: block for one ack, then drain whatever
-            # else finished while the controller slept — all of it
-            # retires through a single dispatch round.
+            # else finished while the controller slept — the whole batch
+            # retires through one vectorized graph commit (positions
+            # come straight from the ack payloads) and one dispatch
+            # round.
             acks = [self._await_ack()]
             while True:
                 ack = self._poll_ack()
@@ -230,34 +246,43 @@ class LiveSimulation:
             in_flight -= len(acks)
             t0 = time.perf_counter()
             dirty: set[int] = set()
-            position = self.program.position
-            for step, cluster in acks:
-                result = graph.commit(
-                    cluster, {aid: position(aid) for aid in cluster})
-                spread = graph.max_step - graph.min_step
-                if spread > self._stats.max_step_spread:
-                    self._stats.max_step_spread = spread
-                cache.invalidate(result.neighbors)
-                for aid in cluster:
-                    if graph.step[aid] >= target_step:
-                        done.add(aid)
-                    else:
-                        ready.add(aid)
-                        dirty.add(aid)
-                for aid in result.unblocked:
-                    if aid in ready:
-                        dirty.add(aid)
-                for aid in result.neighbors:
-                    if aid in ready:
-                        dirty.add(aid)
+            members_all: list[int] = []
+            new_positions: dict[int, tuple] = {}
+            for _, cluster, positions in acks:
+                members_all += cluster
+                new_positions.update(positions)
+            result = graph.commit(members_all, new_positions)
+            spread = graph.max_step - graph.min_step
+            if spread > self._stats.max_step_spread:
+                self._stats.max_step_spread = spread
+            cache.invalidate(result.neighbors)
+            for aid in members_all:
+                if graph.step[aid] >= target_step:
+                    done.add(aid)
+                else:
+                    ready.add(aid)
+                    dirty.add(aid)
+            for aid in result.unblocked:
+                if aid in ready:
+                    dirty.add(aid)
+            for aid in result.neighbors:
+                if aid in ready:
+                    dirty.add(aid)
             self._stats.time_graph += time.perf_counter() - t0
-            in_flight += self._dispatch_round(graph, ready, dirty,
-                                              target_step, cache)
+            in_flight += self._dispatch_round(
+                graph, ready, dirty, target_step, cache,
+                result.member_neighbors)
 
     def _dispatch_round(self, graph: SpatioTemporalGraph, ready: set[int],
                         dirty: set[int], target_step: int,
-                        cache: ClusterCache) -> int:
-        """Cluster the dirty frontier; dispatch unblocked clusters."""
+                        cache: ClusterCache,
+                        fresh: dict[int, list[int]] | None = None) -> int:
+        """Cluster the dirty frontier; dispatch unblocked clusters.
+
+        ``fresh`` carries the just-committed batch's per-member coupling
+        candidates (exact until the next commit), so the BFS seeds from
+        them instead of re-querying the index.
+        """
         t0 = time.perf_counter()
         dispatched = 0
         submit_time = 0.0
@@ -268,8 +293,11 @@ class LiveSimulation:
             step = graph.step[seed]
             cluster = cache.get(seed)
             if cluster is None:
-                cluster = self._collect(graph, seed, step, visited)
-                cache.store(cluster)
+                cluster = self._collect(graph, seed, step, visited, fresh)
+                if len(cluster) > 1:
+                    # Singletons cost one query to rebuild; memoizing
+                    # them costs more than it saves (see MetropolisDriver).
+                    cache.store(cluster)
             else:
                 visited.update(cluster)
             if not any(graph.blocked_by[m] for m in cluster):
@@ -288,15 +316,19 @@ class LiveSimulation:
         return dispatched
 
     def _collect(self, graph: SpatioTemporalGraph, seed: int, step: int,
-                 visited: set[int]) -> list[int]:
+                 visited: set[int],
+                 fresh: dict[int, list[int]] | None = None) -> list[int]:
         stack, members = [seed], []
         visited.add(seed)
         qbuf: list[int] = []
         while stack:
             aid = stack.pop()
             members.append(aid)
-            for other in graph.index.query_into(
-                    graph.pos[aid], self.rules.couple_threshold, qbuf):
+            candidates = fresh.get(aid) if fresh is not None else None
+            if candidates is None:
+                candidates = graph.index.query_into(
+                    graph.pos[aid], self.rules.couple_threshold, qbuf)
+            for other in candidates:
                 if (other != aid and other not in visited
                         and graph.step[other] == step
                         and not graph.running[other]):

@@ -23,7 +23,15 @@ from .clients import LLMClient
 
 
 class WorldProgram(Protocol):
-    """Developer-defined world + agents, executed cluster-by-cluster."""
+    """Developer-defined world + agents, executed cluster-by-cluster.
+
+    Programs may additionally provide a ``positions(aids) -> dict``
+    batch hook: the engine prefers it for its one-read-per-commit (and
+    one-read-at-startup) bulk position fetches, falling back to
+    per-agent :meth:`position` calls when absent. Worlds whose position
+    reads are expensive (remote state, derived coordinates) should
+    implement it.
+    """
 
     @property
     def n_agents(self) -> int: ...
@@ -53,6 +61,12 @@ class BehaviorProgram:
 
     def position(self, aid: int) -> Position:
         return self.model.agents[aid].pos
+
+    def positions(self, aids: Sequence[int]) -> dict[int, Position]:
+        """Batch position read (one pass; the engine calls this once per
+        cluster commit instead of one :meth:`position` per member)."""
+        agents = self.model.agents
+        return {aid: agents[aid].pos for aid in aids}
 
     def execute(self, step: int, agent_ids: Sequence[int],
                 client: LLMClient) -> None:

@@ -51,16 +51,21 @@ class DictReferenceGraph:
                      and (a in members or blocked_before[a])}
         couple = self.rules.couple_threshold
         dist = self.rules.space.dist
-        neighbors = {b for m in members for b in self.pos
-                     if b != m and dist(self.pos[m], self.pos[b]) <= couple}
-        return unblocked, neighbors
+        member_neighbors = {
+            m: {b for b in self.pos
+                if b != m and dist(self.pos[m], self.pos[b]) <= couple}
+            for m in members}
+        neighbors = set().union(*member_neighbors.values()) \
+            if member_neighbors else set()
+        return unblocked, neighbors, member_neighbors
 
 
-def _random_cluster(graph, rules, rng, n):
+def _random_cluster(graph, rules, rng, n, exclude=frozenset()):
     """A dispatchable coupled cluster under ``graph``, or None."""
     order = sorted(range(n), key=lambda _: rng.random())
     for seed_aid in order:
-        if graph.running[seed_aid] or graph.is_blocked(seed_aid):
+        if (seed_aid in exclude or graph.running[seed_aid]
+                or graph.is_blocked(seed_aid)):
             continue
         cluster = {seed_aid}
         frontier = [seed_aid]
@@ -79,6 +84,72 @@ def _random_cluster(graph, rules, rng, n):
     return None
 
 
+def _assert_graph_matches_reference(graph, ref, n):
+    """Blocked edges, waiters, min/max step == dict reference."""
+    for aid in range(n):
+        if not graph.running[aid]:
+            assert graph.blocked_by[aid] == ref.blockers(aid), \
+                f"agent {aid} blockers diverged"
+    # waiters must be the exact inverse of blocked_by
+    for b in range(n):
+        assert graph.waiters[b] == {
+            a for a in range(n) if b in graph.blocked_by[a]}
+    assert graph.min_step == min(ref.step.values())
+    assert graph.max_step == max(ref.step.values())
+
+
+def _assert_fastpath_invariants(graph, ref, rules, n):
+    """The zero-rescan machinery's conservative bounds hold exactly.
+
+    Pins the slack-bound scan licence, the near sets, the blocked-pair
+    wake steps, and the step-bucket slot table against the from-scratch
+    reference.
+    """
+    mv = rules.max_vel
+    base_r = rules.radius_p + mv
+    dist = rules.space.dist
+    for aid in range(n):
+        if graph.running[aid]:
+            continue
+        s = graph.step[aid]
+        shrink = 2.0 * mv * (s - graph._scan_step[aid])
+        near = graph._near[aid]
+        # Scan-skip licence: while the recorded slack outlasts the
+        # worst-case shrink, the agent provably has no blockers.
+        if near is not None and shrink < graph._scan_slack[aid]:
+            assert ref.blockers(aid) == set(), \
+                f"agent {aid} skip licence is unsound"
+        # Near-set licence: within the horizon, only near members block.
+        if near is not None and shrink <= graph._slack_horizon:
+            assert ref.blockers(aid) <= set(near), \
+                f"agent {aid} has a blocker outside its near set"
+    # Wake steps: a pair inside its wake window is provably still
+    # blocked (the re-check skip can never miss a release).
+    for b in range(n):
+        for a, wake in graph._wake[b].items():
+            if a in graph.waiters[b] and graph.step[b] <= wake:
+                g = graph.step[a] - graph.step[b]
+                assert g > 0 and dist(graph.pos[a], graph.pos[b]) <= \
+                    base_r + g * mv, f"wake step of pair {b}->{a} unsound"
+    if not graph._grid_fast:
+        return
+    # Step-bucket migration: the slot table is exactly the partition of
+    # agents by (step, cell), and every live slot is correctly keyed.
+    cell = graph.index.cell
+    expected = {}
+    for aid in range(n):
+        p = graph.pos[aid]
+        key = (graph.step[aid], int(p[0] // cell), int(p[1] // cell))
+        expected.setdefault(key, set()).add(aid)
+    actual = {graph._bkey[slot]: graph._bmembers[slot]
+              for slot in graph._bslot.values()}
+    assert actual == expected
+    assert len(graph._bslot) == graph._bcount
+    for key, slot in graph._bslot.items():
+        assert (int(graph._bstep[slot]), int(graph._bx[slot]),
+                int(graph._by[slot])) == key
+
+
 class TestGraphMatchesReferenceModel:
     """The ISSUE's fuzz gate: array-backed graph == dict reference."""
 
@@ -89,46 +160,58 @@ class TestGraphMatchesReferenceModel:
     def test_randomized_commit_order(self, metric, seed, n):
         rng = FastRng(seed)
         rules = DependencyRules(DependencyConfig(metric=metric))
-        # Span several fine cells and straddle the coarse-cell boundary
-        # at x = 80 so commits exercise coarse-grid maintenance.
+        # Span several fine cells and straddle region boundaries so
+        # commits exercise step-bucket migration.
         positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
                      for i in range(n)}
         graph = SpatioTemporalGraph(rules, positions)
         ref = DictReferenceGraph(rules, positions)
 
         for _ in range(40):
-            members = _random_cluster(graph, rules, rng, n)
-            assert members is not None, "graph deadlocked"
-            graph.mark_running(members)
-            for m in members:
-                ref.running[m] = True
+            # Batched commits: retire 1-3 disjoint dispatchable
+            # clusters through a single graph.commit, like the
+            # coalesced flush does.
+            batch: list[int] = []
+            for _attempt in range(rng.integers(1, 4)):
+                members = _random_cluster(graph, rules, rng, n,
+                                          exclude=set(batch))
+                if members is None:
+                    continue
+                graph.mark_running(members)
+                for m in members:
+                    ref.running[m] = True
+                batch += members
+            if not batch:
+                members = _random_cluster(graph, rules, rng, n)
+                assert members is not None, "graph deadlocked"
+                graph.mark_running(members)
+                for m in members:
+                    ref.running[m] = True
+                batch = members
             new_pos = {}
-            for m in members:
+            for m in batch:
                 x, y = graph.pos[m]
                 dx, dy = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)][
                     rng.integers(0, 5)]
                 new_pos[m] = (x + dx, y + dy)
-            result = graph.commit(members, new_pos)
-            ref_unblocked, ref_neighbors = ref.commit(members, new_pos)
+            result = graph.commit(batch, new_pos)
+            ref_unblocked, ref_neighbors, ref_member = ref.commit(batch,
+                                                                  new_pos)
 
             # 1. identical unblock candidates, split exactly as commit
-            #    reports them
+            #    reports them — per-member neighborhoods included
             assert result.unblocked == ref_unblocked
             assert result.neighbors == ref_neighbors
+            assert set(result.member_neighbors) == set(ref_member)
+            for m, lst in result.member_neighbors.items():
+                assert set(lst) == ref_member[m], \
+                    f"member {m} neighborhood diverged"
             for aid in ref_unblocked | ref_neighbors:
                 assert aid in result  # CommitResult membership back-compat
-            # 2. identical blocked-edge sets for every settled agent
-            for aid in range(n):
-                if not graph.running[aid]:
-                    assert graph.blocked_by[aid] == ref.blockers(aid), \
-                        f"agent {aid} blockers diverged"
-            # waiters must be the exact inverse of blocked_by
-            for b in range(n):
-                assert graph.waiters[b] == {
-                    a for a in range(n) if b in graph.blocked_by[a]}
-            # 3. identical min/max step
-            assert graph.min_step == min(ref.step.values())
-            assert graph.max_step == max(ref.step.values())
+            # 2. identical blocked edges / waiters / min-max step
+            _assert_graph_matches_reference(graph, ref, n)
+            # 3. the zero-rescan bounds stay conservative
+            _assert_fastpath_invariants(graph, ref, rules, n)
 
     def test_distant_laggard_pruned_until_it_blocks(self):
         """Wide step spread: the coarse min-step prune must never hide a
@@ -290,6 +373,55 @@ class TestHotpathBench:
         assert rc == 0
         assert out.exists()
         assert "hotpath gate: ok" in capsys.readouterr().out
+
+    def test_cli_agents_comma_list(self, tmp_path):
+        """``--agents 3,5`` overrides the matrix without code edits."""
+        from repro.bench.cli import main as cli_main
+
+        out = tmp_path / "hp.json"
+        rc = cli_main(["hotpath", "--scenario", "smallville",
+                       "--agents", "3,5", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["agent_counts"] == [3, 5]
+        assert [e["n_agents"] for e in report["entries"]] == [3, 5]
+
+    def test_cli_agents_rejects_garbage(self, capsys):
+        from repro.bench.cli import main as cli_main
+
+        with pytest.raises(SystemExit):
+            cli_main(["hotpath", "--agents", "25,banana"])
+        assert "invalid agent count list" in capsys.readouterr().err
+
+    def test_check_requires_matrix_cells(self, tmp_path):
+        """--check fails loudly when a required matrix cell is absent."""
+        from repro.bench.hotpath import check_report, run_hotpath
+
+        base = tmp_path / "base.json"
+        run_hotpath(scenarios=["smallville"], agent_counts=(5,), out=base)
+        report = run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                             baseline=base)
+        failures = check_report(report, min_throughput=1.0,
+                                min_speedup=0.1, required_counts=(5, 2000))
+        assert any("2000" in f and "missing" in f for f in failures)
+        assert check_report(report, min_throughput=1.0, min_speedup=0.1,
+                            required_counts=(5,)) == []
+
+    def test_cli_require_agents_gate(self, tmp_path, capsys):
+        """The CLI matrix gate: passing and failing --require-agents."""
+        from repro.bench.cli import main as cli_main
+        from repro.bench.hotpath import run_hotpath
+
+        base = tmp_path / "base.json"
+        run_hotpath(scenarios=["smallville"], agent_counts=(5,), out=base)
+        common = ["hotpath", "--scenario", "smallville", "--agents", "5",
+                  "--out", str(tmp_path / "hp.json"),
+                  "--baseline", str(base), "--check",
+                  "--min-throughput", "1", "--min-speedup", "0.1"]
+        assert cli_main(common + ["--require-agents", "5"]) == 0
+        rc = cli_main(common + ["--require-agents", "5,2000"])
+        assert rc == 1
+        assert "required matrix cell missing" in capsys.readouterr().err
 
     def test_driver_reports_cache_counters(self, synthetic_trace):
         from repro.config import SchedulerConfig

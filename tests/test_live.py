@@ -85,6 +85,64 @@ class TestLiveSimulation:
         with pytest.raises(SchedulingError, match="boom"):
             sim.run(target_step=3)
 
+    def test_positions_read_in_bulk_not_per_commit(self):
+        """Position reads are batched: one ``positions()`` bulk call at
+        startup plus one per cluster commit (worker-side), and the
+        engine never falls back to per-agent ``position()`` reads."""
+
+        class CountingProgram(BehaviorProgram):
+            def __init__(self, model):
+                super().__init__(model)
+                self.position_calls = 0
+                self.positions_calls = 0
+                self.positions_aids = 0
+
+            def position(self, aid):
+                self.position_calls += 1
+                return super().position(aid)
+
+            def positions(self, aids):
+                aids = list(aids)
+                self.positions_calls += 1
+                self.positions_aids += len(aids)
+                return super().positions(aids)
+
+        world, homes = build_smallville()
+        personas = make_personas(5, seed=4, homes=homes)
+        program = CountingProgram(BehaviorModel(world, personas, seed=4))
+        sim = LiveSimulation(program, EchoLLMClient(), num_workers=2)
+        result = sim.run(target_step=25)
+        # One startup bulk read + one bulk read per worker commit.
+        assert program.positions_calls == 1 + result.clusters_executed
+        assert program.positions_aids == \
+            program.n_agents + result.cluster_size_sum
+        # The engine itself derives no per-agent reads (the bulk hook
+        # covers them); any regression to per-commit position() calls
+        # fails here.
+        assert program.position_calls == 0
+
+    def test_program_without_bulk_hook_still_runs(self):
+        """The ``positions`` hook is optional: per-agent fallback."""
+
+        class MinimalProgram:
+            def __init__(self, inner):
+                self._inner = inner
+
+            @property
+            def n_agents(self):
+                return self._inner.n_agents
+
+            def position(self, aid):
+                return self._inner.position(aid)
+
+            def execute(self, step, agent_ids, client):
+                self._inner.execute(step, agent_ids, client)
+
+        sim = LiveSimulation(MinimalProgram(_program()), EchoLLMClient(),
+                             num_workers=2)
+        result = sim.run(target_step=10)
+        assert len(result.final_positions) == 5
+
     def test_second_run_resets_state(self):
         """A reused LiveSimulation must not leak stats, sequence numbers
         or KV keys from the previous run (regression: counters and the
