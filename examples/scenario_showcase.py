@@ -19,6 +19,15 @@ from repro.bench.smoke import scenario_window_trace
 from repro.scenarios import get_scenario, scenario_names
 
 
+def graph_thumbnail(world) -> str:
+    """One-line structural sketch for graph (non-grid) worlds."""
+    degrees = [len(neigh) for neigh in world.adjacency.values()]
+    n_edges = sum(degrees) // 2
+    return (f"graph: {world.n_nodes} nodes, {n_edges} edges, "
+            f"degree {min(degrees)}..{max(degrees)}, "
+            f"{len(world.venues)} single-node venues")
+
+
 def map_thumbnail(world, width: int = 66, height: int = 22) -> str:
     """Downsample the walkability grid to a terminal-sized sketch."""
     rows = []
@@ -46,10 +55,11 @@ def main() -> None:
         scn = get_scenario(name)
         world, homes = scn.world()
         print(f"=== {scn.name} — {scn.description}")
-        print(f"map {world.width}x{world.height}, "
+        print(f"map {world.width}x{world.height} ({scn.metric} metric), "
               f"{len(world.venues)} venues ({len(homes)} homes), "
               f"{scn.agents_per_segment} agents/segment")
-        print(map_thumbnail(world))
+        print(graph_thumbnail(world) if hasattr(world, "adjacency")
+              else map_thumbnail(world))
 
         n_agents = min(args.agents, scn.agents_per_segment)
         personas = scn.make_personas(n_agents, seed=0, homes=homes)

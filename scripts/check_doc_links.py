@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md, ROADMAP.md, CHANGES.md and everything under docs/ for
+markdown links/images whose target is a relative path, and verifies the
+target exists (anchors and external URLs are ignored). CI runs this as
+the docs gate; ``tests/test_docs.py`` runs it in the tier-1 suite.
+
+Usage: python scripts/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline link/image: [text](target) — target captured.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = [root / "README.md", root / "ROADMAP.md", root / "CHANGES.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def dead_links(root: Path) -> list[str]:
+    """``file:line: target`` for every relative link with no file."""
+    failures: list[str] = []
+    for doc in doc_files(root):
+        for lineno, line in enumerate(
+                doc.read_text(encoding="utf-8").splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{doc.relative_to(root)}:{lineno}: "
+                        f"dead link -> {target}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    failures = dead_links(root)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"docs link check: ok "
+              f"({len(doc_files(root))} files scanned)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

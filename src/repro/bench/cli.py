@@ -111,8 +111,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "scenarios":
+        header = (f"{'name':<14}{'metric':<11}{'agents/seg':>10}  "
+                  f"description")
+        print(header)
+        print("-" * len(header))
         for name in scenario_names():
-            print(f"{name:<14} {get_scenario(name).description}")
+            scn = get_scenario(name)
+            print(f"{name:<14}{scn.metric:<11}"
+                  f"{scn.agents_per_segment:>10}  {scn.description}")
         return 0
 
     if args.command == "smoke":

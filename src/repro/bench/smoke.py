@@ -88,7 +88,9 @@ def _live_equivalent(scn, n_agents: int, start: int, end: int) -> bool:
     ooo = scn.model(n_agents, SMOKE_SEED)
     for step in range(start):
         ooo.step_all(step)
+    # scenario= routes graph-metric worlds to their own space.
     sim = LiveSimulation(BehaviorProgram(ooo), EchoLLMClient(),
+                         scheduler=SchedulerConfig(scenario=scn.name),
                          num_workers=4)
     sim.run(target_step=end, start_step=start)
     ooo_state = [(a.pos, a.awake, a.activity, len(a.memory))

@@ -20,7 +20,7 @@ This package is the paper's contribution:
 """
 
 from .engine import SimulationResult, run_replay, critical_path_time
-from .rules import DependencyRules
+from .rules import DependencyRules, rules_for
 from .space import (ChebyshevSpace, EuclideanSpace, GraphSpace,
                     ManhattanSpace, Space, space_for)
 
@@ -29,6 +29,7 @@ __all__ = [
     "SimulationResult",
     "critical_path_time",
     "DependencyRules",
+    "rules_for",
     "Space",
     "EuclideanSpace",
     "ChebyshevSpace",

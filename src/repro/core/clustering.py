@@ -21,8 +21,11 @@ path light (§3.6):
   dependency graph's batched commits move members with caller-computed
   cells (:meth:`SpatialIndex.move_bucketed`) against position storage
   it shares with the graph;
-* for spaces without geometry (``GraphSpace``) everything degrades to a
-  linear scan transparently.
+* non-coordinate spaces with cells (``GraphSpace``: landmark BFS
+  levels, see :mod:`repro.core.space`) are queried through
+  ``bucket_range`` windows over those cells plus the exact ``within``
+  predicate; only a space with no bucketing at all degrades to a
+  linear scan.
 
 :class:`ClusterCache` memoizes connected coupling components between
 cluster commits: a component only changes when one of its members (or an

@@ -58,6 +58,21 @@ steady-state commits (nearly) scan-free:
 All three bounds are conservative, so the maintained edge sets stay
 *exactly* equal to a from-scratch recomputation (the dict-reference
 fuzz model pins this).
+
+None of the three mechanisms is Euclidean-specific: the slack and wake
+bounds only need the triangle inequality plus the ``max_vel`` movement
+bound, and the step-bucketed index only needs 2D integer cells whose
+per-axis difference lower-bounds the true distance. The fast path is
+therefore gated on ``Space.cell_bucketing`` — coordinate grids provide
+it by floor division, :class:`~repro.core.space.GraphSpace` by landmark
+BFS levels — so ``metric="graph"`` worlds take the same zero-rescan
+path. Only the *vectorized* sub-paths (numpy commit bookkeeping, the
+batched neighbor distance matrix) additionally require numeric 2D
+coordinates (``grid_bucketing`` + ``within_mat``); non-coordinate
+spaces fall back to the scalar per-member variants of the same
+algorithm. Spaces with no usable bucketing at all keep the legacy
+:meth:`SpatioTemporalGraph._scan_fallback` linear scan (counted by
+``fallback_scans`` so tests can assert it stays off the fast path).
 """
 
 from __future__ import annotations
@@ -162,19 +177,26 @@ class SpatioTemporalGraph:
         self._max_step = start_step
         #: Reusable spatial-query scratch buffer (non-grid fallback).
         self._qbuf: list[int] = []
-        #: Grid fast path: the step-bucketed blocker index. Slots are
-        #: densely packed in [0, _bcount): scans slice the live prefix,
-        #: frees swap the last slot down — no free list, no sentinels.
-        self._grid_fast = self.index._grid and hasattr(rules.space,
+        #: Zero-rescan fast path: any space whose cells lower-bound the
+        #: metric (coordinate grids, landmark-bucketed graph spaces)
+        #: gets the step-bucketed blocker index. Slots are densely
+        #: packed in [0, _bcount): scans slice the live prefix, frees
+        #: swap the last slot down — no free list, no sentinels.
+        self._bucket_fast = bool(getattr(rules.space, "cell_bucketing",
+                                         False))
+        #: Vectorized sub-paths additionally need numeric 2D coordinates
+        #: (numpy position mirror + within_mat neighbor masks).
+        self._coord_vec = self.index._grid and hasattr(rules.space,
                                                        "within_mat")
-        if self._grid_fast:
+        if self._bucket_fast:
             # Dense ids let the index read positions straight from the
             # graph's own list: commits update one storage, and
             # query_into sees every move for free.
             self.index._positions = self.pos
-            self._posarr = np.array(
-                [[p[0], p[1]] for p in self.pos], dtype=np.float64
-            ) if n else np.zeros((0, 2), dtype=np.float64)
+            if self._coord_vec:
+                self._posarr = np.array(
+                    [[p[0], p[1]] for p in self.pos], dtype=np.float64
+                ) if n else np.zeros((0, 2), dtype=np.float64)
             cap = 64
             self._bstep = np.zeros(cap, dtype=np.int64)
             self._bx = np.zeros(cap, dtype=np.int64)
@@ -184,11 +206,10 @@ class SpatioTemporalGraph:
             self._bslot: dict[tuple[int, int, int], int] = {}
             self._bcount = 0
             cell = self.index.cell
+            bucket = rules.space.bucket
             for aid in range(n):
-                p = self.pos[aid]
                 self._bucket_add(
-                    (start_step, int(p[0] // cell), int(p[1] // cell)),
-                    (aid,))
+                    (start_step,) + bucket(self.pos[aid], cell), (aid,))
         # instrumentation
         self.blocked_events = 0
         self.unblock_events = 0
@@ -197,6 +218,9 @@ class SpatioTemporalGraph:
         self.near_checks = 0
         self.wake_checks = 0
         self.wake_skips = 0
+        #: Linear scans through the non-bucketed fallback path; stays 0
+        #: whenever the space offers cell bucketing (regression-tested).
+        self.fallback_scans = 0
 
     # -- step-bucketed blocker index ---------------------------------------
 
@@ -286,7 +310,7 @@ class SpatioTemporalGraph:
         s = self.step[aid]
         if s <= self._min_step:
             return set()
-        if not self._grid_fast:
+        if not self._bucket_fast:
             return self._scan_fallback(aid, s, self.pos[aid])
         shrink = self._two_mv * (s - self._scan_step[aid])
         near = self._near[aid]
@@ -297,11 +321,10 @@ class SpatioTemporalGraph:
                 blockers, _ = self._check_near(aid, s, near)
                 return blockers
         pos_a = self.pos[aid]
-        cell = self.index.cell
         self.scans += 1
         blockers, _, _, _ = self._scan_rows(
             [aid], [s],
-            [(int(pos_a[0] // cell), int(pos_a[1] // cell))], [pos_a])
+            [self.rules.space.bucket(pos_a, self.index.cell)], [pos_a])
         return blockers[0]
 
     def _check_near(self, aid: int, s: int, near: list[int]
@@ -400,7 +423,8 @@ class SpatioTemporalGraph:
         return blockers, slack, margins, nears
 
     def _scan_fallback(self, aid: int, s: int, pos_a: Position) -> set[int]:
-        """Non-grid spaces: one index query at the worst-case radius."""
+        """Non-bucketed spaces: one index query at the worst-case radius."""
+        self.fallback_scans += 1
         step = self.step
         pos = self.pos
         rules = self.rules
@@ -444,8 +468,8 @@ class SpatioTemporalGraph:
             running[aid] = False
         if not members:
             return CommitResult(set(), set())
-        if self._grid_fast:
-            unblocked, per_member = self._commit_grid(members, new_positions)
+        if self._bucket_fast:
+            unblocked, per_member = self._commit_fast(members, new_positions)
         else:
             unblocked, per_member = self._commit_generic(members,
                                                          new_positions)
@@ -493,22 +517,23 @@ class SpatioTemporalGraph:
             wake[bid][aid] = self._wake_step(step[bid], s - step[bid],
                                              margins[bid])
 
-    def _commit_grid(self, members: list[int],
+    def _commit_fast(self, members: list[int],
                      new_positions: Mapping[int, Position]
                      ) -> tuple[set[int], dict[int, list[int]]]:
         k = len(members)
         step = self.step
         pos = self.pos
-        posarr = self._posarr
         index = self.index
         cell = index.cell
         move_bucketed = index.move_bucketed
         nc_list: list[tuple[int, int]] = []
-        if k >= _VEC_BATCH:
-            # Vectorized cell derivation: one numpy pass for the whole
-            # batch serves the fine index and the step-bucketed index
-            # alike (both match Space.bucket semantics), and grouped
-            # slot migration retires shared (step, cell) keys once.
+        if k >= _VEC_BATCH and self._coord_vec:
+            # Vectorized cell derivation (coordinate spaces): one numpy
+            # pass for the whole batch serves the fine index and the
+            # step-bucketed index alike (both match Space.bucket
+            # semantics), and grouped slot migration retires shared
+            # (step, cell) keys once.
+            posarr = self._posarr
             removals: dict[tuple[int, int, int], list[int]] = {}
             additions: dict[tuple[int, int, int], list[int]] = {}
             marr = np.fromiter(members, dtype=np.int64, count=k)
@@ -536,10 +561,11 @@ class SpatioTemporalGraph:
                 self._bucket_discard(key, ids)
             for key, ids in additions.items():
                 self._bucket_add(key, ids)
-        else:
+        elif self._coord_vec:
             # Small batch (the steady-state norm): one fused pass per
             # member, no grouping dicts, bucket transfer only on cell
             # crossings.
+            posarr = self._posarr
             for aid in members:
                 old_step = step[aid]
                 old_p = pos[aid]
@@ -558,6 +584,24 @@ class SpatioTemporalGraph:
                 nc_list.append((nx, ny))
                 self._bucket_discard((old_step, ox, oy), (aid,))
                 self._bucket_add((old_step + 1, nx, ny), (aid,))
+            self._advance_steps(members)
+        else:
+            # Non-coordinate spaces (graph metric): identical
+            # bookkeeping, cells from Space.bucket instead of floor
+            # division, no numpy position mirror to maintain.
+            bucket = self.rules.space.bucket
+            for aid in members:
+                old_step = step[aid]
+                old_p = pos[aid]
+                new_p = new_positions[aid]
+                pos[aid] = new_p
+                oc = bucket(old_p, cell)
+                nc = bucket(new_p, cell)
+                if nc != oc:
+                    move_bucketed(aid, oc, nc)
+                nc_list.append(nc)
+                self._bucket_discard((old_step,) + oc, (aid,))
+                self._bucket_add((old_step + 1,) + nc, (aid,))
             self._advance_steps(members)
 
         # Blocker work, slack-gated per member: skip entirely while the
@@ -611,9 +655,9 @@ class SpatioTemporalGraph:
                                             margins[r])
                 else:
                     unblocked.add(aid)
-        return unblocked, self._neighbors_grid(members)
+        return unblocked, self._neighbors_fast(members)
 
-    def _neighbors_grid(self, members: list[int]
+    def _neighbors_fast(self, members: list[int]
                         ) -> dict[int, list[int]]:
         """Per-member coupling-range neighborhoods, one pass.
 
@@ -622,14 +666,16 @@ class SpatioTemporalGraph:
         the query box is 2x2 in the common case, up to 3x3 when the
         box is boundary-aligned). Small batches query the index per
         member; large ones collect the candidate union and run one
-        vectorized distance matrix.
+        vectorized distance matrix (coordinate spaces only — graph
+        spaces always take the per-member query, whose bucket_range
+        window plays the same candidate-pruning role).
         """
         buckets = self.index._buckets
         pos = self.pos
         cell = self.index.cell
         r = self.rules.couple_threshold
         per_member: dict[int, list[int]] = {}
-        if len(members) < _VEC_BATCH:
+        if len(members) < _VEC_BATCH or not self._coord_vec:
             query_into = self.index.query_into
             qbuf = self._qbuf
             for aid in members:

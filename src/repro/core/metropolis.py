@@ -40,7 +40,7 @@ from ..trace import Trace
 from .baselines import DriverStats
 from .clustering import ClusterCache
 from .dependency_graph import SpatioTemporalGraph
-from .rules import DependencyRules
+from .rules import rules_for
 from .tasks import ChainExecutor
 
 
@@ -53,7 +53,7 @@ class MetropolisDriver:
         self.trace = trace
         self.config = config
         self.executor = executor
-        self.rules = DependencyRules(config.dependency)
+        self.rules = rules_for(config, trace.meta)
         self.stats = DriverStats()
         self.n_steps = trace.meta.n_steps
         n = trace.meta.n_agents
@@ -358,6 +358,7 @@ class MetropolisDriver:
         stats.extra["graph_scan_skips"] = graph.scan_skips
         stats.extra["graph_near_checks"] = graph.near_checks
         stats.extra["graph_wake_skips"] = graph.wake_skips
+        stats.extra["graph_fallback_scans"] = graph.fallback_scans
         stats.time_graph += perf_counter() - t0
 
     def _flush_controller_round(self) -> None:

@@ -27,7 +27,7 @@ from ..serving import PerfModel, ServingEngine
 from ..trace import Trace
 from .baselines import DriverStats
 from .clustering import geo_clustering
-from .space import EuclideanSpace
+from .rules import rules_for
 from .tasks import ChainExecutor
 
 
@@ -35,9 +35,10 @@ def mine_interaction_groups(trace: Trace) -> list[list[list[int]]]:
     """Per-step connected components of mutual observation.
 
     Returns ``groups[step] = [sorted member lists]`` using start-of-step
-    positions and the trace's perception radius.
+    positions and the trace's perception radius, measured in the trace
+    scenario's space (hop distance for graph-metric worlds).
     """
-    space = EuclideanSpace()
+    space = rules_for(None, trace.meta).space
     groups: list[list[list[int]]] = []
     n = trace.meta.n_agents
     ids = list(range(n))

@@ -27,8 +27,50 @@ import math
 from typing import Iterable
 
 from ..config import DependencyConfig
-from ..errors import CausalityViolation
+from ..errors import CausalityViolation, ScenarioError
 from .space import Position, Space, space_for
+
+
+def rules_for(config=None, meta=None) -> "DependencyRules":
+    """Dependency rules for a run, honoring the workload's scenario.
+
+    The scenario name resolves from the :class:`SchedulerConfig` first,
+    then from the trace metadata. A registered scenario that declares
+    its own dependency geometry (``Scenario.dependency_config`` — e.g.
+    graph-metric worlds, which also own the :class:`GraphSpace` over
+    their generated network) is authoritative; otherwise — and for
+    unknown names, synthetic traces, or no scenario at all — the
+    config's ``dependency`` parameters apply unchanged. ``meta`` also
+    supplies the segment count so concatenated graph worlds get the
+    disjoint-union space matching their offset node ids.
+    """
+    dependency = config.dependency if config is not None \
+        else DependencyConfig()
+    name = (getattr(config, "scenario", "") or
+            getattr(meta, "scenario", "") or "")
+    rules = None
+    if name:
+        from ..scenarios import get_scenario  # lazy: avoid import cycle
+        try:
+            scenario = get_scenario(name)
+        except ScenarioError:
+            scenario = None
+        if scenario is not None:
+            rules = scenario.rules(config,
+                                   segments=getattr(meta, "segments", 1)
+                                   or 1)
+    if rules is None:
+        rules = DependencyRules(dependency)
+    # A graph-metric trace measured with anything but its own graph
+    # space silently produces wrong coupled/blocked sets (node ids are
+    # not coordinates) — refuse instead of degrading.
+    if getattr(meta, "metric", "euclidean") == "graph" \
+            and rules.config.metric != "graph":
+        raise ScenarioError(
+            f"trace records metric='graph' but scenario {name!r} "
+            f"resolved to {rules.config.metric!r} rules; a graph trace "
+            f"can only replay under its own scenario's GraphSpace")
+    return rules
 
 
 class DependencyRules:

@@ -4,6 +4,21 @@ The paper derives its rules for Euclidean distance but notes (§6) that
 they extend to any space with a notion of distance bounding information
 propagation — e.g. hop distance in a social network. Everything in
 :mod:`repro.core` works against this small protocol.
+
+Two capability flags let the scheduler pick its fast paths per space:
+
+* ``grid_bucketing`` — positions are 2D numeric coordinates and
+  :meth:`Space.bucket` is plain floor division, so the spatial index can
+  walk coordinate windows and the dependency graph can vectorize commit
+  bookkeeping over numpy position arrays;
+* ``cell_bucketing`` — :meth:`Space.bucket` returns 2D *integer cells
+  whose per-axis difference lower-bounds the true distance* (cells ``k``
+  and ``k + dc`` on any axis imply ``dist >= (dc - 1) * cell``). This is
+  the only property the step-bucketed blocker index and the slack/near/
+  wake machinery in :mod:`repro.core.dependency_graph` need, so any
+  space providing it — coordinate grids trivially, :class:`GraphSpace`
+  via landmark BFS levels — gets the zero-rescan scheduler instead of
+  the linear fallback scan.
 """
 
 from __future__ import annotations
@@ -31,9 +46,14 @@ class Space(Protocol):
     * ``within_mat(dx, dy, radius) -> bool ndarray`` — the same
       predicate over numpy coordinate-delta arrays, used to test a
       whole cluster against its candidate neighborhood in one
-      vectorized pass;
-    * ``grid_bucketing = True`` — declares that :meth:`bucket` returns
-      2D integer cells, enabling precomputed neighbor-cell offsets.
+      vectorized pass (coordinate spaces only);
+    * ``grid_bucketing = True`` — declares 2D numeric coordinates with
+      floor-division cells, enabling precomputed neighbor-cell offsets
+      and the vectorized commit paths;
+    * ``cell_bucketing = True`` — declares that :meth:`bucket` returns
+      2D integer cells satisfying the Lipschitz lower bound
+      ``dist(a, b) >= (max_axis_cell_diff - 1) * cell``, enabling the
+      step-bucketed blocker index (see module docstring).
     """
 
     def dist(self, a: Position, b: Position) -> float:
@@ -59,6 +79,9 @@ class _Grid2D:
     #: Cells are 2D integer coordinates: the spatial index may walk a
     #: precomputed neighbor-offset stencil instead of ``bucket_range``.
     grid_bucketing = True
+    #: Coordinate cells trivially satisfy the Lipschitz lower bound the
+    #: step-bucketed blocker index needs.
+    cell_bucketing = True
 
     @staticmethod
     def bucket(pos, cell: float) -> tuple:
@@ -120,15 +143,90 @@ class ManhattanSpace(_Grid2D):
 class GraphSpace:
     """Hop distance on an arbitrary graph (the §6 social-network case).
 
-    Positions are node ids. Distances are BFS hop counts, cached per
-    source. No spatial bucketing is possible in general, so the index
-    falls back to linear scans — fine for the social-simulation scales
-    this extension targets.
+    Positions are node ids (any hashable). Distances are BFS hop counts,
+    cached per source; nodes in different connected components are at
+    infinite distance (they can never couple or block).
+
+    Bucketing comes from **landmark BFS levels**: per connected
+    component, two landmarks are chosen deterministically (the first
+    node in insertion order, then the farthest node from it — a double
+    BFS sweep), and every node's pair of levels ``(d(L0, v), d(L1, v))``
+    serves as integer pseudo-coordinates. Levels are 1-Lipschitz in hop
+    distance (``|d(L, a) - d(L, b)| <= d(a, b)`` by the triangle
+    inequality), so the cells ``level // cell`` satisfy exactly the
+    lower-bound property (``cell_bucketing``) the step-bucketed blocker
+    index requires — graph worlds ride the same zero-rescan scheduler as
+    coordinate grids. Components are kept apart by offsetting the first
+    axis per component, which is sound because cross-component distance
+    is infinite. Construct with ``bucketing=False`` to force the legacy
+    single-bucket linear scans (the conservative reference path the
+    fuzz tests compare against).
     """
 
-    def __init__(self, adjacency: dict[Hashable, Iterable[Hashable]]) -> None:
-        self._adj = {node: list(neigh) for node, neigh in adjacency.items()}
+    grid_bucketing = False
+
+    def __init__(self, adjacency: dict[Hashable, Iterable[Hashable]],
+                 bucketing: bool = True) -> None:
+        self._adj = {node: tuple(neigh) for node, neigh in adjacency.items()}
+        for node, neigh in self._adj.items():
+            for other in neigh:
+                if other not in self._adj:
+                    raise ConfigError(
+                        f"edge {node!r} -> {other!r} references a node "
+                        f"missing from the adjacency")
+        self._n = len(self._adj)
         self._cache: dict[Hashable, dict[Hashable, int]] = {}
+        #: node -> (level from landmark 0, level from landmark 1,
+        #: component index); empty when bucketing is off.
+        self._levels: dict[Hashable, tuple[int, int, int]] = {}
+        self.cell_bucketing = False
+        if bucketing and self._adj:
+            self._build_landmarks()
+            self.cell_bucketing = True
+
+    # -- construction -------------------------------------------------------
+
+    def _bfs_levels(self, source: Hashable) -> dict[Hashable, int]:
+        dist = {source: 0}
+        queue = deque([source])
+        adj = self._adj
+        while queue:
+            node = queue.popleft()
+            base = dist[node] + 1
+            for neigh in adj[node]:
+                if neigh not in dist:
+                    dist[neigh] = base
+                    queue.append(neigh)
+        return dist
+
+    def _build_landmarks(self) -> None:
+        """Two-landmark levels per connected component (double BFS sweep).
+
+        Deterministic: component seeds follow the adjacency's insertion
+        order; the second landmark is the first BFS-discovered node at
+        maximum level from the first.
+        """
+        seen: set[Hashable] = set()
+        comp = 0
+        for node in self._adj:
+            if node in seen:
+                continue
+            l0 = self._bfs_levels(node)
+            far = max(l0, key=l0.get)  # first max in BFS insertion order
+            l1 = self._bfs_levels(far)
+            for member, level in l0.items():
+                self._levels[member] = (level, l1[member], comp)
+            seen.update(l0)
+            comp += 1
+        self._ncomp = comp
+
+    def _level_of(self, pos: Hashable) -> tuple[int, int, int]:
+        try:
+            return self._levels[pos]
+        except KeyError:
+            raise ConfigError(f"unknown node {pos!r}") from None
+
+    # -- metric -------------------------------------------------------------
 
     def _distances_from(self, source: Hashable) -> dict[Hashable, int]:
         cached = self._cache.get(source)
@@ -136,29 +234,62 @@ class GraphSpace:
             return cached
         if source not in self._adj:
             raise ConfigError(f"unknown node {source!r}")
-        dist = {source: 0}
-        queue = deque([source])
-        while queue:
-            node = queue.popleft()
-            for neigh in self._adj[node]:
-                if neigh not in dist:
-                    dist[neigh] = dist[node] + 1
-                    queue.append(neigh)
+        dist = self._bfs_levels(source)
         self._cache[source] = dist
         return dist
 
     def dist(self, a, b) -> float:
+        if b not in self._adj:
+            raise ConfigError(f"unknown node {b!r}")
         return float(self._distances_from(a).get(b, math.inf))
 
+    def within(self, a, b, radius: float) -> bool:
+        if self._levels:
+            la = self._level_of(a)
+            lb = self._level_of(b)
+            if la[2] != lb[2]:
+                return False  # different components: infinite distance
+            if (abs(la[0] - lb[0]) > radius
+                    or abs(la[1] - lb[1]) > radius):
+                return False  # landmark levels already certify dist > r
+        return self.dist(a, b) <= radius
+
+    # -- bucketing ----------------------------------------------------------
+
+    def _span(self, cell: float) -> int:
+        """Cells per component band on the offset axis (levels < n)."""
+        return int(self._n / cell) + 2
+
     def bucket(self, pos, cell: float) -> tuple:
-        return ()
+        if not self._levels:
+            return ()
+        l0, l1, comp = self._level_of(pos)
+        return (comp * self._span(cell) + int(l0 // cell), int(l1 // cell))
 
     def bucket_range(self, pos, radius: float, cell: float):
-        yield ()
+        if not self._levels:
+            yield ()
+            return
+        l0, l1, comp = self._level_of(pos)
+        span = self._span(cell)
+        base = comp * span
+        # Anything within `radius` shares the component, so only this
+        # component's band is yielded; level windows clamp to the band.
+        b0_lo = max(0, int((l0 - radius) // cell))
+        b0_hi = min(span - 2, int((l0 + radius) // cell))
+        b1_lo = max(0, int((l1 - radius) // cell))
+        b1_hi = min(span - 2, int((l1 + radius) // cell))
+        for b0 in range(b0_lo, b0_hi + 1):
+            for b1 in range(b1_lo, b1_hi + 1):
+                yield (base + b0, b1)
 
 
 def space_for(metric: str, **kwargs) -> Space:
-    """Factory keyed by :attr:`DependencyConfig.metric`."""
+    """Factory keyed by :attr:`DependencyConfig.metric`.
+
+    ``metric="graph"`` requires ``adjacency=...`` and accepts
+    ``bucketing=False`` to opt out of landmark bucketing.
+    """
     if metric == "euclidean":
         return EuclideanSpace()
     if metric == "chebyshev":
@@ -169,5 +300,6 @@ def space_for(metric: str, **kwargs) -> Space:
         adjacency = kwargs.get("adjacency")
         if adjacency is None:
             raise ConfigError("graph metric requires adjacency=...")
-        return GraphSpace(adjacency)
+        return GraphSpace(adjacency,
+                          bucketing=kwargs.get("bucketing", True))
     raise ConfigError(f"unknown metric {metric!r}")

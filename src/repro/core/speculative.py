@@ -157,13 +157,12 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
     def _lookahead_detects_race(self, cluster: list[int], step: int) -> bool:
         radius = self.trace.meta.radius_p
         horizon = min(step + 1, self.trace.meta.n_steps)
+        space = self.rules.space  # scenario metric (hops on graph worlds)
         for m in cluster:
             pos_m = self.trace.pos(m, step)
             for b in self.graph.blockers_of(m):
                 for s in range(self.graph.step[b], horizon):
-                    bx, by = self.trace.pos(b, s)
-                    dx, dy = bx - pos_m[0], by - pos_m[1]
-                    if (dx * dx + dy * dy) <= radius * radius:
+                    if space.dist(self.trace.pos(b, s), pos_m) <= radius:
                         return True
         return False
 

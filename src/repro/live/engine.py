@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from ..config import SchedulerConfig
 from ..core.clustering import ClusterCache
 from ..core.dependency_graph import SpatioTemporalGraph
-from ..core.rules import DependencyRules
+from ..core.rules import rules_for
 from ..errors import SchedulingError
 from ..kvstore import KVStore
 from .clients import LLMClient
@@ -86,7 +86,9 @@ class LiveSimulation:
         self.scheduler = scheduler or SchedulerConfig()
         self.num_workers = max(num_workers, 1)
         self.store = store or KVStore()
-        self.rules = DependencyRules(self.scheduler.dependency)
+        # Scenario-aware: SchedulerConfig.scenario routes graph-metric
+        # worlds to their GraphSpace; plain configs behave as before.
+        self.rules = rules_for(self.scheduler)
         self._ready_queue: queue.PriorityQueue = queue.PriorityQueue()
         self._ack_queue: queue.Queue = queue.Queue()
         self._seq = 0

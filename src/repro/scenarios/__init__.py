@@ -10,8 +10,13 @@ picks them up by name with no further changes.
 
     >>> from repro.scenarios import get_scenario, scenario_names
     >>> scenario_names()
-    ['market-town', 'metro-grid', 'smallville']
+    ['market-town', 'metro-grid', 'smallville', 'social-graph']
     >>> model = get_scenario("metro-grid").model(n_agents=8, seed=0)
+
+Scenarios are not grid-only: a scenario that sets
+``dependency_config`` (and overrides ``space()``) owns its distance
+geometry — ``social-graph`` runs on a small-world network under
+hop-distance (``metric="graph"``) rules.
 """
 
 from .base import Scenario, hour_step, pick_weighted
@@ -22,6 +27,7 @@ from .registry import (ENTRY_POINT_GROUP, REGISTRY, ScenarioRegistry,
 from .smallville import SmallvilleScenario
 from .metro_grid import MetroGridScenario, build_metro_grid
 from .market_town import MarketTownScenario, build_market_town
+from .social_graph import SocialGraphScenario
 
 __all__ = [
     "Scenario",
@@ -36,6 +42,7 @@ __all__ = [
     "SmallvilleScenario",
     "MetroGridScenario",
     "MarketTownScenario",
+    "SocialGraphScenario",
     "build_metro_grid",
     "build_market_town",
 ]

@@ -13,11 +13,22 @@ OOO-equivalence CI gate.
 Invariants a scenario's world must uphold (checked by the registry's
 ``validate`` and by ``tests/test_scenarios.py``):
 
-* agents move at most one tile per step (the §3.2 ``max_vel`` bound) —
-  guaranteed by :class:`repro.world.behavior.BehaviorModel`;
+* agents move at most ``max_vel`` per step *in the scenario's metric*
+  (one tile on grids, one hop on graphs — the §3.2 bound) — guaranteed
+  by :class:`repro.world.behavior.BehaviorModel` and its graph variant;
 * every walkable tile is reachable from every other (no sealed rooms),
   so pathfinding and venue-to-venue walks never fail mid-trace;
 * every venue named by a persona's home/work/schedule exists in the map.
+
+A scenario may also own its **dependency geometry**: setting
+:attr:`Scenario.dependency_config` (and, for non-standard spaces,
+overriding :meth:`Scenario.space`) makes every driver — replay, live,
+oracle mining, the bench gates — build its
+:class:`~repro.core.rules.DependencyRules` from the scenario instead of
+the run config (see :func:`repro.core.rules.rules_for`). This is how
+``metric="graph"`` worlds supply the :class:`~repro.core.space.GraphSpace`
+over their generated network, including the disjoint-union space for
+concatenated multi-segment traces.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from ..config import STEPS_PER_HOUR
+from ..config import STEPS_PER_HOUR, DependencyConfig
 from ..errors import ScenarioError
 from ..world.behavior import BehaviorModel
 from ..world.grid import GridWorld
@@ -73,6 +84,11 @@ class Scenario(abc.ABC):
     active_window: tuple[int, int] = (2300, 2420)
     #: Venues where conversations spark easily (scenario's social fabric).
     social_venues: tuple[str, ...] = ()
+    #: Dependency-rule parameters this world's geometry requires, or
+    #: ``None`` to accept the run's ``SchedulerConfig.dependency``
+    #: unchanged. Graph-metric worlds set this (and override
+    #: :meth:`space`) so drivers measure distance on their network.
+    dependency_config: DependencyConfig | None = None
 
     def __init__(self) -> None:
         self._world: GridWorld | None = None
@@ -104,6 +120,45 @@ class Scenario(abc.ABC):
             world, _ = self.world()
             self._planner = PathPlanner(world)
         return self._planner
+
+    # -- dependency geometry ------------------------------------------------
+
+    @property
+    def metric(self) -> str:
+        """Distance metric of this world (``repro-bench scenarios``)."""
+        dep = self.dependency_config
+        return dep.metric if dep is not None else "euclidean"
+
+    def space(self, segments: int = 1):
+        """The :class:`~repro.core.space.Space` this world measures in.
+
+        ``segments`` matters only to spaces tied to generated structure
+        (graph worlds must cover the node ids of every concatenated
+        trace segment); coordinate metrics ignore it. Scenarios with a
+        non-standard space (``metric="graph"``) must override this.
+        """
+        from ..core.space import space_for  # lazy: avoid import cycle
+        dep = self.dependency_config or DependencyConfig()
+        if dep.metric == "graph":
+            raise ScenarioError(
+                f"{self.name}: graph-metric scenarios must override "
+                f"space() to supply their adjacency")
+        return space_for(dep.metric)
+
+    def rules(self, config=None, segments: int = 1):
+        """Dependency rules every driver should run this world under.
+
+        With no :attr:`dependency_config` the scheduler config's
+        parameters pass through untouched (the historical behavior);
+        otherwise the scenario's geometry is authoritative.
+        """
+        from ..core.rules import DependencyRules  # lazy: avoid cycle
+        dep = self.dependency_config
+        if dep is None:
+            if config is not None:
+                return DependencyRules(config.dependency)
+            return DependencyRules(DependencyConfig())
+        return DependencyRules(dep, space=self.space(segments))
 
     # -- driver-facing factories -------------------------------------------
 

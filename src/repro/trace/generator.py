@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import STEPS_PER_DAY
+from ..config import STEPS_PER_DAY, DependencyConfig
 from ..errors import TraceError
 from ..scenarios import Scenario, get_scenario
 from ..world.behavior import FUNC_INDEX
@@ -25,7 +25,7 @@ from .io import load_trace, save_trace
 from .schema import Trace, TraceMeta, concat_traces
 
 #: Bump to invalidate cached traces when generation logic changes.
-GENERATOR_VERSION = 3
+GENERATOR_VERSION = 4
 
 
 def generate_trace(n_agents: int | None = None,
@@ -64,9 +64,11 @@ def generate_trace(n_agents: int | None = None,
                 outs.append(call.output_tokens)
             positions[aid, step + 1] = model.agents[aid].pos
 
+    dep = scn.dependency_config or DependencyConfig()
     meta = TraceMeta(
         n_agents=n_agents, n_steps=n_steps, seed=seed,
-        width=world.width, height=world.height, scenario=scn.name)
+        width=world.width, height=world.height, scenario=scn.name,
+        radius_p=dep.radius_p, max_vel=dep.max_vel, metric=dep.metric)
     return Trace(
         meta, positions,
         np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),

@@ -41,10 +41,14 @@ def load_trace(path: str | Path) -> Trace:
         raise TraceError(f"no trace at {path}")
     with np.load(path, allow_pickle=False) as data:
         meta = TraceMeta(**json.loads(str(data["meta"])))
-        return Trace(
+        trace = Trace(
             meta, data["positions"],
             data["call_step"], data["call_agent"], data["call_func"],
             data["call_in"], data["call_out"])
+    # Graph traces: the coordinate speed check does not apply, so the
+    # untrusted boundary re-checks movement in hop distance.
+    trace.validate_movement()
+    return trace
 
 
 def export_jsonl(trace: Trace, path: str | Path) -> None:
@@ -97,8 +101,10 @@ def import_jsonl(path: str | Path) -> Trace:
     positions = np.zeros((meta.n_agents, meta.n_steps + 1, 2), dtype=np.int32)
     for aid, pos_list in movements.items():
         positions[aid] = np.asarray(pos_list, dtype=np.int32)
-    return Trace(
+    trace = Trace(
         meta, positions,
         np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),
         np.asarray(funcs, dtype=np.int16), np.asarray(ins, dtype=np.int32),
         np.asarray(outs, dtype=np.int32))
+    trace.validate_movement()
+    return trace

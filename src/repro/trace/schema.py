@@ -29,6 +29,11 @@ class TraceMeta:
     height: int
     radius_p: float = 4.0
     max_vel: float = 1.0
+    #: Distance metric of the generating scenario (see
+    #: ``DependencyConfig.metric``). ``graph`` means positions are
+    #: ``(node_id, 0)`` pairs measured in hop distance, so coordinate-
+    #: based checks (the movement speed limit) do not apply.
+    metric: str = "euclidean"
     #: Absolute step-of-day at which this trace window begins.
     base_step: int = 0
     #: Number of concatenated map segments (1 = the original map).
@@ -92,13 +97,42 @@ class Trace:
             raise TraceError("call agent out of range")
         if len(self.call_out) and self.call_out.min() < 1:
             raise TraceError("output token counts must be >= 1")
-        # Movement speed limit (the dependency rules assume it).
+        # Movement speed limit (the dependency rules assume it). Graph
+        # metrics carry node ids, not coordinates, so the coordinate
+        # check does not apply — untrusted entry points (load_trace /
+        # import_jsonl) run :meth:`validate_movement` with the
+        # scenario's space instead; in-process generation is covered by
+        # the scenario test suite.
+        if meta.metric == "graph":
+            return
         deltas = np.diff(self.positions.astype(np.int32), axis=1)
         speed = np.abs(deltas).sum(axis=2)  # Manhattan per step
         if len(speed) and speed.max() > meta.max_vel:
             raise TraceError(
                 f"an agent moved {speed.max()} tiles in one step "
                 f"(max_vel={meta.max_vel})")
+
+    def validate_movement(self) -> None:
+        """Check the per-step speed bound in the trace's *own* metric.
+
+        For graph traces this measures hop distance through the
+        scenario's space (resolved via ``rules_for``); coordinate
+        traces already validated at construction. Costs one distance
+        lookup per agent-step, so it runs at the untrusted boundaries
+        (trace load/import), not on every window slice.
+        """
+        if self.meta.metric != "graph":
+            return
+        from ..core.rules import rules_for  # lazy: avoid import cycle
+        space = rules_for(None, self.meta).space
+        max_vel = self.meta.max_vel
+        for aid in range(self.meta.n_agents):
+            for step in range(self.meta.n_steps):
+                d = space.dist(self.pos(aid, step), self.pos(aid, step + 1))
+                if d > max_vel:
+                    raise TraceError(
+                        f"agent {aid} moved {d} hops at step {step} "
+                        f"(max_vel={max_vel})")
 
     def _build_index(self) -> None:
         """CSR row pointers: row = agent * n_steps + step."""

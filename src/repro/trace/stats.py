@@ -50,6 +50,22 @@ def _mean_dependency_agents(trace: Trace, sample_stride: int = 7) -> float:
     constrain it across consecutive steps.
     """
     threshold = trace.meta.radius_p + trace.meta.max_vel
+    if trace.meta.metric == "graph":
+        # Hop-distance worlds: measure in the scenario's graph space
+        # (pairwise loops; graph traces are small-world scale).
+        from ..core.rules import rules_for  # lazy: avoid import cycle
+        space = rules_for(None, trace.meta).space
+        totals = 0.0
+        count = 0
+        n = trace.meta.n_agents
+        for step in range(0, trace.meta.n_steps, sample_stride):
+            positions = [trace.pos(aid, step) for aid in range(n)]
+            within = sum(
+                1 for a in positions for b in positions
+                if space.dist(a, b) <= threshold)
+            totals += within / n
+            count += 1
+        return totals / max(count, 1)
     thr2 = threshold * threshold
     pos = trace.positions.astype(np.float64)
     totals = 0.0

@@ -264,6 +264,17 @@ class BehaviorModel:
                 out.append(other.agent_id)
         return out
 
+    def _chat_adjacent(self, a: AgentState, b: AgentState) -> bool:
+        """May ``a`` and ``b`` strike up a conversation where they stand?
+
+        The world's distance predicate at :attr:`CHAT_RADIUS`; graph
+        worlds override it with hop distance. Must stay within the
+        coupling threshold so conversation pairing remains cluster-safe.
+        """
+        dx = a.pos[0] - b.pos[0]
+        dy = a.pos[1] - b.pos[1]
+        return dx * dx + dy * dy <= self.CHAT_RADIUS ** 2
+
     def _observe_surroundings(self, step: int, aid: int) -> None:
         """Write memory events about perceivable agents (radius <= 4)."""
         agent = self.agents[aid]
@@ -284,9 +295,7 @@ class BehaviorModel:
                 b = self.agents[bid]
                 if not b.awake or b.busy_chatting or a.busy_chatting:
                     continue
-                dx = a.pos[0] - b.pos[0]
-                dy = a.pos[1] - b.pos[1]
-                if dx * dx + dy * dy > self.CHAT_RADIUS ** 2:
+                if not self._chat_adjacent(a, b):
                     continue
                 rng = fast_rng_for(self.seed, "chat", min(aid, bid),
                                    max(aid, bid), step)

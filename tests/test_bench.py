@@ -92,6 +92,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig4a" in out and "table1" in out
 
+    def test_scenarios_listing_documents_metric_and_agents(self, capsys):
+        """`repro-bench scenarios` shows each world's metric and default
+        population alongside the registry description."""
+        assert cli_main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "agents/seg" in out
+        lines = {line.split()[0]: line for line in out.splitlines()
+                 if line and not line.startswith(("name", "-"))}
+        assert "euclidean" in lines["smallville"]
+        assert "25" in lines["smallville"]
+        assert "graph" in lines["social-graph"]
+        assert "24" in lines["social-graph"]
+
     def test_run_writes_output(self, tmp_path, capsys):
         assert cli_main(["run", "fig4c", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "fig4c.txt").exists()

@@ -1,0 +1,43 @@
+"""Docs stay honest: no dead relative links, and the architecture doc
+tracks the modules it points into."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from check_doc_links import dead_links, doc_files  # noqa: E402
+
+
+def test_no_dead_relative_links():
+    assert dead_links(ROOT) == []
+
+
+def test_architecture_doc_exists_and_scanned():
+    files = [f.name for f in doc_files(ROOT)]
+    assert "README.md" in files
+    assert "ARCHITECTURE.md" in files
+
+
+def test_architecture_doc_pointers_resolve():
+    """Every `src/repro/...` style path the doc names must exist."""
+    import re
+
+    text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    for match in re.finditer(r"`(?:src/)?(repro/[\w/]+\.py)`", text):
+        assert (ROOT / "src" / match.group(1)).exists(), match.group(1)
+
+
+def test_checker_cli_passes_on_repo():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_doc_links.py"),
+         str(ROOT)],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+
+
+def test_checker_flags_dead_link(tmp_path):
+    (tmp_path / "README.md").write_text("see [gone](missing/file.md)\n")
+    assert any("missing/file.md" in f for f in dead_links(tmp_path))

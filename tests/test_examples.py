@@ -29,8 +29,10 @@ def test_quickstart_other_scenario():
 
 def test_scenario_showcase():
     out = _run("scenario_showcase.py", "--agents", "6")
-    for name in ("smallville", "metro-grid", "market-town"):
+    for name in ("smallville", "metro-grid", "market-town",
+                 "social-graph"):
         assert name in out
+    assert "graph metric" in out  # the non-grid world renders too
     assert "OOO speedup" in out
 
 

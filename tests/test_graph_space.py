@@ -1,0 +1,274 @@
+"""GraphSpace landmark bucketing and the graph-metric zero-rescan path.
+
+Covers the §6 extension now that graph worlds are first-class: the
+landmark cells' Lipschitz lower bound, disconnected components (infinite
+distance never blocks or couples), unknown-node errors, fuzz parity of
+the bucketed fast path against both the linear ``_scan_fallback`` path
+and the dict-reference oracle on random small-world graphs, and the
+steady-state regression gate — a graph-metric replay must never touch
+the fallback scan.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import FastRng
+from repro.bench.smoke import scenario_window_trace
+from repro.config import DependencyConfig, SchedulerConfig
+from repro.core import DependencyRules, run_replay
+from repro.core.dependency_graph import SpatioTemporalGraph
+from repro.core.space import GraphSpace, space_for
+from repro.errors import ConfigError
+
+from test_hotpath_scheduler import (DictReferenceGraph,
+                                    _assert_fastpath_invariants,
+                                    _assert_graph_matches_reference,
+                                    _random_cluster)
+
+
+def small_world(rng, n, k=2, ties=2) -> dict[int, list[int]]:
+    """A random ring-lattice-with-shortcuts adjacency."""
+    adj = {node: [] for node in range(n)}
+    for node in range(n):
+        for off in range(1, k + 1):
+            adj[node].append((node + off) % n)
+            adj[node].append((node - off) % n)
+    for _ in range(ties):
+        a = rng.integers(0, n)
+        b = rng.integers(0, n)
+        if a != b and b not in adj[a]:
+            adj[a].append(b)
+            adj[b].append(a)
+    return adj
+
+
+class TestGraphSpaceBasics:
+    def test_hop_distance(self):
+        space = GraphSpace({0: [1], 1: [0, 2], 2: [1]})
+        assert space.dist(0, 2) == 2.0
+        assert space.dist(2, 2) == 0.0
+        assert space.within(0, 1, 1.0)
+        assert not space.within(0, 2, 1.0)
+
+    def test_disconnected_components_infinite(self):
+        space = GraphSpace({0: [1], 1: [0], 2: [3], 3: [2]})
+        assert space.dist(0, 2) == math.inf
+        assert not space.within(0, 3, 1e9)
+
+    def test_unknown_node_raises(self):
+        space = GraphSpace({0: [1], 1: [0]})
+        with pytest.raises(ConfigError, match="unknown node"):
+            space.dist(0, 7)
+        with pytest.raises(ConfigError, match="unknown node"):
+            space.dist(7, 0)
+        with pytest.raises(ConfigError, match="unknown node"):
+            space.bucket(7, 1.0)
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(ConfigError, match="missing from"):
+            GraphSpace({0: [1, 9], 1: [0]})
+
+    def test_space_for_graph(self):
+        space = space_for("graph", adjacency={0: [1], 1: [0]})
+        assert space.cell_bucketing
+        slow = space_for("graph", adjacency={0: [1], 1: [0]},
+                         bucketing=False)
+        assert not slow.cell_bucketing
+        assert slow.bucket(0, 1.0) == ()
+        with pytest.raises(ConfigError, match="adjacency"):
+            space_for("graph")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(4, 40))
+    def test_landmark_cells_lower_bound_distance(self, seed, n):
+        """The cell_bucketing contract: cells ``dc`` apart on any axis
+        imply ``dist >= (dc - 1) * cell`` — the only property the
+        step-bucketed blocker index relies on."""
+        rng = FastRng(seed)
+        space = GraphSpace(small_world(rng, n))
+        for cell in (1.0, 2.0, 3.0):
+            buckets = {node: space.bucket(node, cell) for node in range(n)}
+            for a in range(n):
+                for b in range(a + 1, n):
+                    dc = max(abs(buckets[a][0] - buckets[b][0]),
+                             abs(buckets[a][1] - buckets[b][1]))
+                    assert space.dist(a, b) >= (dc - 1) * cell
+
+    def test_bucket_range_covers_radius(self):
+        rng = FastRng(5)
+        space = GraphSpace(small_world(rng, 30))
+        for cell in (1.0, 2.0):
+            for source in (0, 7, 19):
+                for radius in (1.0, 2.0, 5.0):
+                    cells = set(space.bucket_range(source, radius, cell))
+                    for node in range(30):
+                        if space.dist(source, node) <= radius:
+                            assert space.bucket(node, cell) in cells
+
+
+class TestGraphBlocking:
+    def _rules(self, adjacency, bucketing=True):
+        return DependencyRules(
+            DependencyConfig(radius_p=1.0, max_vel=1.0),
+            space=GraphSpace(adjacency, bucketing=bucketing))
+
+    def test_disconnected_never_blocks(self):
+        """Infinite distance: the other component's laggard can never
+        block, no matter how far ahead the leader runs."""
+        rules = self._rules({0: [1], 1: [0], 2: [3], 3: [2]})
+        graph = SpatioTemporalGraph(rules, {0: 0, 1: 1, 2: 2, 3: 3})
+        assert graph._bucket_fast
+        for _ in range(50):
+            graph.mark_running([0, 1])
+            graph.commit([0, 1], {0: 0, 1: 1})
+        assert not graph.is_blocked(0) and not graph.is_blocked(1)
+        assert graph.step[0] == 50 and graph.step[2] == 0
+        graph.validate()  # infinite distance satisfies §3.2 trivially
+
+    def test_connected_laggard_blocks(self):
+        """Same chain, but connected: the hop threshold must bite."""
+        chain = {i: [j for j in (i - 1, i + 1) if 0 <= j <= 6]
+                 for i in range(7)}
+        rules = self._rules(chain)
+        graph = SpatioTemporalGraph(rules, {0: 0, 1: 6})
+        ref = DictReferenceGraph(rules, {0: 0, 1: 6})
+        lead = 0
+        while not graph.is_blocked(0):
+            graph.mark_running([0])
+            ref.running[0] = True
+            graph.commit([0], {0: 0})
+            ref.commit([0], {0: 0})
+            lead += 1
+            assert graph.blocked_by[0] == ref.blockers(0)
+        # blocked exactly when (gap + 1) * 1 + 1 >= 6, i.e. gap 4.
+        assert lead == 4
+        assert graph.blockers_of(0) == frozenset({1})
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(2, 10))
+    def test_fast_path_matches_fallback_and_reference(self, seed, n):
+        """Fuzz parity on random small worlds: the landmark-bucketed
+        fast path, the linear ``_scan_fallback`` path, and the
+        dict-reference oracle must agree on every edge set."""
+        rng = FastRng(seed)
+        n_nodes = max(n * 3, 8)
+        adjacency = small_world(rng, n_nodes,
+                                ties=rng.integers(0, 4))
+        positions = {aid: rng.integers(0, n_nodes) for aid in range(n)}
+        fast_rules = self._rules(adjacency, bucketing=True)
+        slow_rules = self._rules(adjacency, bucketing=False)
+        fast = SpatioTemporalGraph(fast_rules, positions)
+        slow = SpatioTemporalGraph(slow_rules, positions)
+        ref = DictReferenceGraph(fast_rules, positions)
+        assert fast._bucket_fast and not slow._bucket_fast
+
+        for _ in range(30):
+            members = _random_cluster(fast, fast_rules, rng, n)
+            assert members is not None, "graph deadlocked"
+            fast.mark_running(members)
+            slow.mark_running(members)
+            for m in members:
+                ref.running[m] = True
+            new_pos = {}
+            for m in members:
+                node = fast.pos[m]
+                neighbors = adjacency[node]
+                pick = rng.integers(0, len(neighbors) + 1)
+                new_pos[m] = node if pick == len(neighbors) \
+                    else neighbors[pick]
+            fast_result = fast.commit(members, new_pos)
+            slow_result = slow.commit(members, new_pos)
+            ref_unblocked, ref_neighbors, ref_member = ref.commit(
+                members, new_pos)
+
+            assert fast_result.unblocked == slow_result.unblocked \
+                == ref_unblocked
+            assert fast_result.neighbors == slow_result.neighbors \
+                == ref_neighbors
+            for m, lst in fast_result.member_neighbors.items():
+                assert set(lst) == ref_member[m]
+            for aid in range(n):
+                assert fast.blocked_by[aid] == slow.blocked_by[aid]
+            _assert_graph_matches_reference(fast, ref, n)
+            _assert_fastpath_invariants(fast, ref, fast_rules, n)
+            fast.validate()
+        assert fast.fallback_scans == 0
+        # every blocker scan the slow graph did went through the
+        # linear fallback (it has no bucketed path at all)
+        assert slow.fallback_scans == slow.scans
+
+
+class TestGraphSteadyState:
+    """The acceptance gate: graph-metric replays never take the
+    linear fallback scan, and the zero-rescan machinery engages."""
+
+    def test_social_graph_replay_never_falls_back(self):
+        trace = scenario_window_trace("social-graph")
+        result = run_replay(trace, SchedulerConfig(
+            policy="metropolis", scenario="social-graph"))
+        extra = result.driver_stats.extra
+        assert extra["graph_fallback_scans"] == 0
+        assert extra["graph_scan_skips"] > 0  # slack licences fire
+        assert extra["graph_near_checks"] > 0  # near sets fire
+        assert result.n_calls_completed == trace.n_calls
+
+    def test_social_graph_scenario_rules_are_graph_metric(self):
+        from repro.core.rules import rules_for
+        trace = scenario_window_trace("social-graph")
+        rules = rules_for(SchedulerConfig(scenario="social-graph"),
+                          trace.meta)
+        assert isinstance(rules.space, GraphSpace)
+        assert rules.config.metric == "graph"
+        assert rules.radius_p == 1.0
+
+    def test_graph_trace_with_unresolvable_scenario_refuses(self):
+        """A metric='graph' trace must never degrade to Euclidean rules
+        — an unresolvable (or mislabeled) scenario fails loudly."""
+        import dataclasses
+
+        from repro.core.rules import rules_for
+        from repro.errors import ScenarioError
+        trace = scenario_window_trace("social-graph")
+        gone = dataclasses.replace(trace.meta, scenario="not-a-scenario")
+        with pytest.raises(ScenarioError, match="metric='graph'"):
+            rules_for(None, gone)
+        with pytest.raises(ScenarioError, match="metric='graph'"):
+            rules_for(SchedulerConfig(scenario="smallville"), trace.meta)
+
+    def test_loaded_graph_trace_validates_hop_speed(self, tmp_path):
+        """Round-trip keeps graph traces honest: a corrupted position
+        that teleports an agent is rejected at load."""
+        import numpy as np
+
+        from repro.errors import TraceError
+        from repro.trace import load_trace, save_trace
+        trace = scenario_window_trace("social-graph")
+        path = tmp_path / "ok.npz"
+        save_trace(trace, path)
+        load_trace(path)  # intact: loads fine
+        bad = np.array(trace.positions, copy=True)
+        bad[0, 5, 0] = (bad[0, 4, 0] + 60) % 240  # ~30-hop teleport
+        save_trace(
+            type(trace)(trace.meta, bad, trace.call_step,
+                        trace.call_agent, trace.call_func,
+                        trace.call_in, trace.call_out),
+            tmp_path / "bad.npz")
+        with pytest.raises(TraceError, match="hops"):
+            load_trace(tmp_path / "bad.npz")
+
+    def test_concatenated_segments_stay_disjoint(self):
+        """Multi-segment graph traces: the union space keeps segments
+        at infinite distance, so cross-segment pairs never block."""
+        from repro.scenarios import get_scenario
+        scn = get_scenario("social-graph")
+        space = scn.space(segments=2)
+        world, _ = scn.world()
+        stride = world.width + 1
+        assert space.dist((0, 0), (1, 0)) <= 2.0
+        assert space.dist((0, 0), (stride, 0)) == math.inf
+        # and within one copy the metric matches the base space
+        base = scn.space()
+        assert space.dist((stride + 3, 0), (stride + 9, 0)) == \
+            base.dist((3, 0), (9, 0))

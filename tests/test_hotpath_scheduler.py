@@ -131,7 +131,7 @@ def _assert_fastpath_invariants(graph, ref, rules, n):
                 g = graph.step[a] - graph.step[b]
                 assert g > 0 and dist(graph.pos[a], graph.pos[b]) <= \
                     base_r + g * mv, f"wake step of pair {b}->{a} unsound"
-    if not graph._grid_fast:
+    if not graph._bucket_fast:
         return
     # Step-bucket migration: the slot table is exactly the partition of
     # agents by (step, cell), and every live slot is correctly keyed.
@@ -139,7 +139,7 @@ def _assert_fastpath_invariants(graph, ref, rules, n):
     expected = {}
     for aid in range(n):
         p = graph.pos[aid]
-        key = (graph.step[aid], int(p[0] // cell), int(p[1] // cell))
+        key = (graph.step[aid],) + rules.space.bucket(p, cell)
         expected.setdefault(key, set()).add(aid)
     actual = {graph._bkey[slot]: graph._bmembers[slot]
               for slot in graph._bslot.values()}

@@ -40,8 +40,8 @@ class _Toy(Scenario):
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"smallville", "metro-grid", "market-town"} <= set(
-            REGISTRY.names())
+        assert {"smallville", "metro-grid", "market-town",
+                "social-graph"} <= set(REGISTRY.names())
 
     def test_names_sorted(self):
         assert REGISTRY.names() == sorted(REGISTRY.names())
@@ -102,12 +102,22 @@ class TestWorldInvariants:
 
     @pytest.mark.parametrize("name", ALL_SCENARIOS)
     def test_movement_speed_limit(self, name):
-        """Traces from every world must satisfy the §3.2 max_vel bound
-        (Trace construction validates it)."""
+        """Traces from every world must satisfy the §3.2 max_vel bound,
+        measured in the scenario's own metric (tiles or hops)."""
+        scn = get_scenario(name)
         trace = generate_trace(6, 400, seed=1, scenario=name)
-        deltas = np.abs(np.diff(trace.positions.astype(np.int32),
-                                axis=1)).sum(axis=2)
-        assert deltas.max() <= 1
+        if trace.meta.metric == "graph":
+            space = scn.space()
+            max_vel = trace.meta.max_vel
+            for aid in range(trace.meta.n_agents):
+                for step in range(trace.meta.n_steps):
+                    d = space.dist(trace.pos(aid, step),
+                                   trace.pos(aid, step + 1))
+                    assert d <= max_vel
+        else:
+            deltas = np.abs(np.diff(trace.positions.astype(np.int32),
+                                    axis=1)).sum(axis=2)
+            assert deltas.max() <= 1
 
 
 def _run_lockstep(model, start, steps):
@@ -117,13 +127,14 @@ def _run_lockstep(model, start, steps):
              len(a.memory)) for a in model.agents]
 
 
-def _run_adversarial_ooo(model, start, steps, order_seed):
+def _run_adversarial_ooo(model, start, steps, order_seed, rules=None):
     """Execute with the §3.2 rules, choosing dispatch order adversarially
     (prefer agents *ahead* in time — the hardest order for the rules)."""
     n = len(model.agents)
     for step in range(start):
         model.step_all(step)
-    rules = DependencyRules(DependencyConfig())
+    if rules is None:
+        rules = DependencyRules(DependencyConfig())
     graph = SpatioTemporalGraph(
         rules, {a.agent_id: a.pos for a in model.agents}, start_step=start)
     rng = FastRng(order_seed)
@@ -181,7 +192,8 @@ class TestOOOEquivalenceAllScenarios:
         ref = _run_lockstep(scn.model(self.N_AGENTS, self.SEED),
                             start, steps)
         ooo = _run_adversarial_ooo(scn.model(self.N_AGENTS, self.SEED),
-                                   start, steps, order_seed)
+                                   start, steps, order_seed,
+                                   rules=scn.rules())
         assert ooo == ref
 
     @pytest.mark.parametrize("name", ALL_SCENARIOS)
@@ -199,7 +211,9 @@ class TestOOOEquivalenceAllScenarios:
         program = program_for_scenario(name, self.N_AGENTS, self.SEED)
         for step in range(start):
             program.model.step_all(step)
-        sim = LiveSimulation(program, EchoLLMClient(), num_workers=4)
+        sim = LiveSimulation(program, EchoLLMClient(),
+                             scheduler=SchedulerConfig(scenario=name),
+                             num_workers=4)
         sim.run(target_step=target, start_step=start)
         ooo = [(a.pos, a.awake, a.activity, len(a.memory))
                for a in program.model.agents]
