@@ -22,9 +22,10 @@ from pathlib import Path
 from ..errors import ScenarioError
 from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
-from .hotpath import (AGENT_COUNTS, BASELINE_PATH, MIN_SPEEDUP,
-                      MIN_THROUGHPUT, PREOVERHAUL_PATH, check_report,
-                      format_report, run_hotpath)
+from .hotpath import (AGENT_COUNTS, BASELINE_PATH,
+                      MAX_FALLBACK_SCANS, MAX_KERNEL_EVENTS_PER_CLUSTER,
+                      MIN_SPEEDUP, MIN_THROUGHPUT, TRAJECTORY,
+                      check_report, format_report, run_hotpath)
 from .smoke import run_smoke
 
 
@@ -86,18 +87,29 @@ def main(argv: list[str] | None = None) -> int:
                      help="write the JSON report here")
     hot.add_argument("--baseline", type=Path, default=BASELINE_PATH,
                      help="committed baseline report to compare against")
-    hot.add_argument("--history", type=Path, default=PREOVERHAUL_PATH,
-                     help="older baseline for the speedup_vs_preoverhaul "
-                          "trajectory column (missing file = skipped)")
+    hot.add_argument("--history", type=Path, default=None,
+                     help="extra older baseline for the "
+                          "speedup_vs_preoverhaul trajectory column "
+                          "(default: the committed pr2 + preoverhaul "
+                          "records; missing files = skipped)")
     hot.add_argument("--check", action="store_true",
                      help="exit 1 if any entry misses the throughput "
-                          "floor, regresses vs. the baseline, or a "
-                          "required matrix cell is absent")
+                          "floor, regresses vs. the baseline, exceeds "
+                          "the kernel-event or fallback-scan caps, or "
+                          "a required matrix cell is absent")
     hot.add_argument("--min-throughput", type=float, default=MIN_THROUGHPUT,
                      help="absolute agent-steps/sec floor for --check")
     hot.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
                      help="required throughput ratio vs. baseline "
                           "for --check")
+    hot.add_argument("--max-kernel-events-per-cluster", type=float,
+                     default=MAX_KERNEL_EVENTS_PER_CLUSTER,
+                     help="cap on driver-scheduled kernel events per "
+                          "dispatched cluster for --check")
+    hot.add_argument("--max-fallback-scans", type=int,
+                     default=MAX_FALLBACK_SCANS,
+                     help="cap on linear fallback scans for --check "
+                          "(0: the bucketed fast path must always run)")
     hot.add_argument("--require-agents", type=_agent_list, default=None,
                      metavar="N[,N...]",
                      help="matrix cells --check must find per scenario "
@@ -143,16 +155,20 @@ def main(argv: list[str] | None = None) -> int:
             if args.agents else AGENT_COUNTS
         report = run_hotpath(
             scenarios=args.scenarios, agent_counts=agent_counts,
-            baseline=args.baseline, history=args.history, out=args.out)
+            baseline=args.baseline, history=args.history,
+            trajectory=TRAJECTORY, out=args.out)
         print(format_report(report))
         if args.out is not None:
             print(f"[report written to {args.out}]")
         if args.check:
             required = tuple(args.require_agents) \
                 if args.require_agents else agent_counts
-            failures = check_report(report, args.min_throughput,
-                                    args.min_speedup,
-                                    required_counts=required)
+            failures = check_report(
+                report, args.min_throughput, args.min_speedup,
+                required_counts=required,
+                max_kernel_events_per_cluster=(
+                    args.max_kernel_events_per_cluster),
+                max_fallback_scans=args.max_fallback_scans)
             if failures:
                 for failure in failures:
                     print(f"FAIL: {failure}", file=sys.stderr)

@@ -12,15 +12,21 @@ pure scheduler overhead.
 
 ``repro-bench hotpath`` writes the report to ``BENCH_hotpath.json`` and
 — given the committed baseline (``benchmarks/baselines/
-hotpath_pr2.json``, the PR 2 scheduler's numbers over the full matrix)
-— a ``speedup_vs_baseline`` per entry. The older pre-overhaul record
-(``benchmarks/baselines/hotpath_baseline.json``) rides along as
-``speedup_vs_preoverhaul`` where its cells exist, extending the
-perf-trajectory history. ``--check`` turns the report into a CI gate:
-every matrix cell (including the 2000-agent column) must be present,
-must clear an absolute throughput floor, must have a baseline
-counterpart (a baseline missing a cell fails loudly), and must not
-regress below ``min_speedup`` x its baseline.
+hotpath_pr4.json``, the PR 4 scheduler's numbers over the full matrix)
+— a ``speedup_vs_baseline`` per entry. The older records ride along as
+perf-trajectory columns where their cells exist:
+``speedup_vs_pr2`` (``hotpath_pr2.json``) and ``speedup_vs_preoverhaul``
+(``hotpath_baseline.json``). ``--check`` turns the report into a CI
+gate: every matrix cell (including the 2000-agent column) must be
+present, must clear an absolute throughput floor, must have a baseline
+counterpart (a baseline missing a cell fails loudly), must not regress
+below ``min_speedup`` x its baseline — and the controller's event churn
+must stay flat: ``fallback_scans`` (linear scans outside the bucketed
+fast path) must stay at zero and ``kernel_events_per_cluster`` (driver-
+scheduled kernel events per dispatched cluster; the single-event round
+loop amortizes dispatch + commit + round to ``2 * rounds / clusters``,
+strictly below the old chain's two-per-cluster floor) must stay under
+``--max-kernel-events-per-cluster``.
 
 Baselines travel across machines: every report carries a
 ``calibration_ops_per_sec`` score from a fixed scheduler-shaped
@@ -49,20 +55,40 @@ from ..trace import generate_concatenated_trace
 #: scheduler).
 AGENT_COUNTS = (25, 100, 500, 1000, 2000)
 HOTPATH_SEED = 0
-#: Committed baselines: the PR 2 scheduler over the full matrix (the
-#: regression reference) and the pre-overhaul record kept for the
-#: trajectory history.
-BASELINE_PATH = Path("benchmarks/baselines/hotpath_pr2.json")
+#: Committed baselines: the PR 4 scheduler over the full matrix (the
+#: regression reference) plus the PR 2 and pre-overhaul records kept
+#: as trajectory columns.
+BASELINE_PATH = Path("benchmarks/baselines/hotpath_pr4.json")
+PR2_PATH = Path("benchmarks/baselines/hotpath_pr2.json")
 PREOVERHAUL_PATH = Path("benchmarks/baselines/hotpath_baseline.json")
+#: Default trajectory annotations: suffix -> committed report.
+TRAJECTORY: tuple[tuple[str, Path], ...] = (
+    ("pr2", PR2_PATH),
+    ("preoverhaul", PREOVERHAUL_PATH),
+)
 #: Default CI gates: an absolute floor every entry must clear, and the
 #: minimum (calibration-normalized) throughput ratio vs. the committed
-#: baseline. Post-zero-rescan cells measure 30k-43k agent-steps/s on a
-#: dev machine, 1.4x-2x the committed PR 2 baseline; the floor sits
-#: far below the slowest cell and the ratio bar of 1.0 means "never
-#: slower than the PR 2 scheduler", leaving >=40% headroom for
-#: calibration noise across runners while any real regression fails.
+#: baseline. The flat-round controller measures 40k-47k agent-steps/s
+#: on coordinate worlds (1.2x-2x the committed PR 4 baseline at the
+#: 500+ cells); the floor sits far below the slowest cell and the
+#: ratio bar of 0.9 means "never slower than the PR 4 scheduler"
+#: modulo calibration noise across runners — the worst committed cell
+#: sits at 0.98x (metro-grid@25), so the bar keeps ~8% headroom while
+#: any real regression fails.
 MIN_THROUGHPUT = 5_000.0
-MIN_SPEEDUP = 1.0
+MIN_SPEEDUP = 0.9
+#: Kernel-event churn cap: the single-event round loop schedules one
+#: dispatch event per round and one commit/round event per finish
+#: instant — 0.3-1.5 events per dispatched cluster across the matrix
+#: (exactly 2x rounds / clusters, deterministic in virtual time; low
+#: coalescing pushes it up), versus a strict >=2 per cluster for the
+#: pre-PR 5 per-cluster event chain. The 1.6 bar sits above today's
+#: worst cell (1.47) and fails any return of per-cluster scheduling.
+MAX_KERNEL_EVENTS_PER_CLUSTER = 1.6
+#: Linear scans outside the step-bucketed fast path: every built-in
+#: scenario's space offers cell bucketing, so any nonzero count means
+#: the fast-path gate broke.
+MAX_FALLBACK_SCANS = 0
 
 
 def hotpath_trace(scenario, n_agents: int, seed: int = HOTPATH_SEED):
@@ -91,6 +117,7 @@ def bench_one(scenario: str, n_agents: int,
     stats = result.driver_stats
     agent_steps = trace.meta.n_agents * trace.meta.n_steps
     controller = stats.controller_time
+    kernel_events = stats.extra.get("kernel_events", 0)
     return {
         "scenario": scn.name,
         "n_agents": trace.meta.n_agents,
@@ -105,6 +132,10 @@ def bench_one(scenario: str, n_agents: int,
         "controller_rounds": stats.controller_rounds,
         "clusters_dispatched": stats.clusters_dispatched,
         "mean_cluster_size": stats.mean_cluster_size,
+        "kernel_events": kernel_events,
+        "kernel_events_per_cluster": kernel_events
+        / max(stats.clusters_dispatched, 1),
+        "fallback_scans": stats.extra.get("graph_fallback_scans", 0),
         "agent_steps_per_sec": agent_steps / controller if controller
         else float("inf"),
         "wall_agent_steps_per_sec": agent_steps / wall if wall
@@ -168,12 +199,16 @@ def run_hotpath(scenarios: list[str] | None = None,
                 policy: str = "metropolis",
                 baseline: Path | str | None = None,
                 history: Path | str | None = None,
+                trajectory: tuple[tuple[str, Path], ...] = (),
                 out: Path | str | None = None) -> dict:
     """Benchmark every (scenario, scale) cell; write/return the report.
 
-    ``baseline`` is the committed regression reference (the PR 2
+    ``baseline`` is the committed regression reference (the PR 4
     scheduler); ``history`` optionally adds ``speedup_vs_preoverhaul``
-    against the pre-overhaul record for the trajectory view.
+    against the pre-overhaul record, and ``trajectory`` attaches any
+    further ``(suffix, path)`` history columns (missing files are
+    skipped) — the CLI passes :data:`TRAJECTORY` so the vs-PR2 and
+    vs-preoverhaul columns persist across baselines.
     """
     names = scenarios or scenario_names()
     # Calibrate before the bench loop heats the machine up; best-of-N
@@ -193,10 +228,16 @@ def run_hotpath(scenarios: list[str] | None = None,
     if baseline_report is not None:
         _annotate_speedups(entries, calibration, baseline_report,
                            "baseline")
-    history_report = load_baseline(history)
-    if history_report is not None:
-        _annotate_speedups(entries, calibration, history_report,
-                           "preoverhaul")
+    # A caller-supplied history overrides the committed preoverhaul
+    # record outright — one suffix must never mix two references.
+    histories = dict(trajectory)
+    if history is not None:
+        histories["preoverhaul"] = Path(history)
+    for suffix, path in histories.items():
+        history_report = load_baseline(path)
+        if history_report is not None:
+            _annotate_speedups(entries, calibration, history_report,
+                               suffix)
     if out is not None:
         out = Path(out)
         if out.parent != Path(""):
@@ -218,12 +259,17 @@ def load_baseline(path: Path | str | None) -> dict | None:
 def check_report(report: dict,
                  min_throughput: float = MIN_THROUGHPUT,
                  min_speedup: float = MIN_SPEEDUP,
-                 required_counts: tuple[int, ...] = ()) -> list[str]:
+                 required_counts: tuple[int, ...] = (),
+                 max_kernel_events_per_cluster: float | None = None,
+                 max_fallback_scans: int | None = None) -> list[str]:
     """The CI gate: returns human-readable failures (empty = pass).
 
     ``required_counts`` additionally demands a report entry per
     (scenario, count) — the 2000-agent scaling cell cannot silently
-    drop out of the matrix.
+    drop out of the matrix. ``max_kernel_events_per_cluster`` and
+    ``max_fallback_scans`` (both optional) pin the controller's event
+    churn and the bucketed fast path: entries missing the counters fail
+    loudly rather than passing silently.
     """
     failures = []
     present = {(e["scenario"], e["n_agents"]) for e in report["entries"]}
@@ -253,6 +299,27 @@ def check_report(report: dict,
             failures.append(
                 f"{label}: {speedup:.2f}x vs baseline, below the "
                 f"required {min_speedup:.2f}x")
+        if max_kernel_events_per_cluster is not None:
+            kepc = entry.get("kernel_events_per_cluster")
+            if kepc is None:
+                failures.append(
+                    f"{label}: kernel_events_per_cluster missing from "
+                    f"the report entry")
+            elif kepc > max_kernel_events_per_cluster:
+                failures.append(
+                    f"{label}: {kepc:.2f} kernel events per cluster, "
+                    f"above the {max_kernel_events_per_cluster:.2f} cap")
+        if max_fallback_scans is not None:
+            fb = entry.get("fallback_scans")
+            if fb is None:
+                failures.append(
+                    f"{label}: fallback_scans missing from the report "
+                    f"entry")
+            elif fb > max_fallback_scans:
+                failures.append(
+                    f"{label}: {fb} linear fallback scans (cap "
+                    f"{max_fallback_scans}) — the bucketed fast path "
+                    f"gate broke")
     return failures
 
 
@@ -271,10 +338,12 @@ def format_report(report: dict) -> str:
     header = (f"{'scenario':<14}{'agents':>7}{'steps':>7}"
               f"{'ctrl-steps/s':>14}{'wall-steps/s':>14}"
               f"{'clustering':>11}{'graph':>9}{'dispatch':>9}"
-              f"{'rounds':>8}{'vs-base':>9}{'vs-pre':>8}")
+              f"{'rounds':>8}{'ev/cl':>7}"
+              f"{'vs-base':>9}{'vs-pr2':>8}{'vs-pre':>8}")
     lines = [header, "-" * len(header)]
     for e in report["entries"]:
         speedup = e.get("speedup_vs_baseline")
+        pr2 = e.get("speedup_vs_pr2")
         pre = e.get("speedup_vs_preoverhaul")
         lines.append(
             f"{e['scenario']:<14}{e['n_agents']:>7}{e['n_steps']:>7}"
@@ -284,7 +353,9 @@ def format_report(report: dict) -> str:
             f"{e['time_graph_s']:>8.3f}s"
             f"{e['time_dispatch_s']:>8.3f}s"
             f"{e['controller_rounds']:>8}"
+            f"{e.get('kernel_events_per_cluster', 0.0):>7.2f}"
             + (f"{speedup:>8.2f}x" if speedup is not None else
                f"{'-':>9}")
+            + (f"{pr2:>7.2f}x" if pr2 is not None else f"{'-':>8}")
             + (f"{pre:>7.2f}x" if pre is not None else f"{'-':>8}"))
     return "\n".join(lines)

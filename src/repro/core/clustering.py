@@ -27,15 +27,20 @@ path light (§3.6):
   predicate; only a space with no bucketing at all degrades to a
   linear scan.
 
-:class:`ClusterCache` memoizes connected coupling components between
-cluster commits: a component only changes when one of its members (or an
-agent newly within coupling range of one) moves, steps, or leaves the
-ready set, so the controller re-runs BFS only around such *dirty* agents
-and re-uses every other component verbatim.
+Incremental coupling components live *inside*
+:class:`~repro.core.dependency_graph.SpatioTemporalGraph` (its
+``component_for`` / ``build_component`` / ``invalidate_components``
+API): a component only changes when one of its members (or an agent
+newly within coupling range of one) moves, steps, or leaves the ready
+set — all transitions the graph itself drives, so memoization and
+invalidation happen in ``mark_running``/``commit`` with no separate
+protocol. The old standalone :class:`ClusterCache` remains importable
+as a deprecation shim only.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Hashable, Iterable, Sequence
 
 from .._util import UnionFind
@@ -76,6 +81,21 @@ class SpatialIndex:
         self._positions[key] = pos
         self._buckets.setdefault(self.space.bucket(pos, self.cell),
                                  set()).add(key)
+
+    def bulk_load(self, items: Iterable[tuple[Hashable, Position]]) -> None:
+        """Insert many fresh ``(key, pos)`` pairs in one pass.
+
+        Skips the per-item presence check of :meth:`insert`; callers
+        load whole trace slices or initial populations this way (keys
+        must not already be present).
+        """
+        positions = self._positions
+        setdefault = self._buckets.setdefault
+        bucket = self.space.bucket
+        cell = self.cell
+        for key, pos in items:
+            positions[key] = pos
+            setdefault(bucket(pos, cell), set()).add(key)
 
     def remove(self, key: Hashable) -> None:
         pos = self._positions.pop(key)
@@ -180,26 +200,25 @@ class SpatialIndex:
 
 
 class ClusterCache:
-    """Connected coupling components memoized between commits (§3.6).
+    """Deprecated standalone component cache (pre-PR 5 API).
 
-    The controller stores each BFS result here; a later round whose seed
-    still has a valid cached component skips the BFS (and its spatial
-    queries) entirely. Soundness rests on the caller invalidating every
-    agent whose component *membership* may have changed:
-
-    * committed members (they moved and changed step),
-    * agents within coupling range of a member's post-commit position
-      (the component they belong to could merge with the member's), and
-    * dispatched clusters (their members left the ready set).
-
-    Agents whose *blocked* status changed but whose position/step did
-    not (released waiters) keep their cached component — re-checking
-    blockers is O(members), not a BFS.
+    Coupling components are graph-native now: the dependency graph
+    memoizes and invalidates them from inside ``mark_running`` and
+    ``commit`` (see :class:`~repro.core.dependency_graph
+    .SpatioTemporalGraph.component_for`), so no driver carries this
+    object anymore. The class stays importable — with the same
+    ``get``/``store``/``invalidate``/``clear`` surface and counters —
+    only so third-party scenario code and old pickles keep working.
     """
 
     __slots__ = ("_comp_of", "_members", "_next_id", "hits", "misses")
 
     def __init__(self) -> None:
+        warnings.warn(
+            "ClusterCache is deprecated: coupling components are "
+            "maintained inside SpatioTemporalGraph (component_for / "
+            "invalidate_components); drivers need no standalone cache",
+            DeprecationWarning, stacklevel=2)
         self._comp_of: dict[int, int] = {}
         self._members: dict[int, list[int]] = {}
         self._next_id = 0
@@ -258,8 +277,7 @@ def geo_clustering(agent_ids: Sequence[int],
     if not ids:
         return []
     index = SpatialIndex(space, cell=max(threshold, 1e-9))
-    for i, p in enumerate(pos):
-        index.insert(i, p)
+    index.bulk_load(enumerate(pos))
     uf = UnionFind(len(ids))
     buf: list[int] = []
     for i, p in enumerate(pos):

@@ -22,9 +22,21 @@ are required to be dense ``0..n-1``, per-agent state lives in plain
 lists indexed by id, and a numpy position mirror serves the vectorized
 paths. :meth:`SpatioTemporalGraph.commit` takes a whole batch of
 finished clusters (ack coalescing hands the same-instant batch over at
-once) and retires it in one pass; batches of several agents take a
-vectorized bookkeeping path, and :class:`CommitResult` falls out of the
-same pass that recomputes blockers.
+once) — either as a mapping or as a ``(k, 2)`` row array sliced
+straight out of the trace's step-major position store — and retires it
+in one pass; batches of several agents take a vectorized bookkeeping
+path (coordinate grids by floor division, graph metrics through
+:meth:`GraphSpace.bucket_mat` over dense node ids), and
+:class:`CommitResult` falls out of the same pass that recomputes
+blockers.
+
+The graph also owns §3.4 **coupling components** natively: connected
+components of the coupling relation among same-step non-running agents
+are memoized in an id-indexed component table, seeded by the per-member
+neighbor lists every commit already returns, and invalidated from
+inside :meth:`mark_running` / :meth:`commit` themselves — the drivers
+no longer run a separate cache-invalidation protocol (the old
+standalone ``ClusterCache`` survives only as a deprecation shim).
 
 The blocker work itself is bounded by three mechanisms that make
 steady-state commits (nearly) scan-free:
@@ -77,6 +89,7 @@ algorithm. Spaces with no usable bucketing at all keep the legacy
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -84,7 +97,7 @@ import numpy as np
 from ..errors import SchedulingError
 from .clustering import SpatialIndex
 from .rules import DependencyRules
-from .space import Position
+from .space import EuclideanSpace, Position
 
 #: Batches at least this large take the vectorized bookkeeping path;
 #: smaller ones stay scalar (less fixed numpy overhead than the win).
@@ -133,19 +146,24 @@ class SpatioTemporalGraph:
     """Incrementally-maintained blocked-edge graph over all agents."""
 
     def __init__(self, rules: DependencyRules,
-                 initial_positions: Mapping[int, Position],
+                 initial_positions: "Mapping[int, Position] | np.ndarray",
                  start_step: int = 0) -> None:
         self.rules = rules
-        n = len(initial_positions)
+        if isinstance(initial_positions, np.ndarray):
+            # Step-major trace stores hand over one (n, 2) row slice.
+            n = len(initial_positions)
+            pos_list = [(r[0], r[1]) for r in initial_positions.tolist()]
+        else:
+            n = len(initial_positions)
+            if sorted(initial_positions) != list(range(n)):
+                raise SchedulingError(
+                    "agent ids must be dense 0..n-1 for array-backed "
+                    f"storage; got {sorted(initial_positions)[:8]}...")
+            pos_list = [initial_positions[aid] for aid in range(n)]
         self.n_agents = n
-        if sorted(initial_positions) != list(range(n)):
-            raise SchedulingError(
-                "agent ids must be dense 0..n-1 for array-backed storage; "
-                f"got {sorted(initial_positions)[:8]}...")
         #: Flat per-agent state, indexed by agent id.
         self.step: list[int] = [start_step] * n
-        self.pos: list[Position] = [initial_positions[aid]
-                                    for aid in range(n)]
+        self.pos: list[Position] = pos_list
         self.running: list[bool] = [False] * n
         self.blocked_by: list[set[int]] = [set() for _ in range(n)]
         self.waiters: list[set[int]] = [set() for _ in range(n)]
@@ -165,12 +183,20 @@ class SpatioTemporalGraph:
         #: set and are re-examined exactly until the accumulated worst-
         #: case slack shrink exceeds the horizon — only then does the
         #: indexed scan re-run (every ``1 + horizon / (2 * max_vel)``
-        #: commits at worst).
-        self._slack_horizon = 8.0 * rules.max_vel
-        self.index = SpatialIndex(rules.space,
-                                  cell=max(rules.couple_threshold, 1.0))
-        for aid in range(n):
-            self.index.insert(aid, self.pos[aid])
+        #: commits at worst). Coordinate grids run a 16-velocity horizon
+        #: and fine cells spanning two coupling radii (swept jointly on
+        #: the hotpath matrix: ~2x fewer full scans, <=2x2 neighbor
+        #: windows, half the slot table per axis). Graph metrics keep
+        #: the tighter 8/1x settings: hop-metric worlds have small
+        #: diameters, so a wide horizon would pull whole components
+        #: into every near set.
+        coord = bool(getattr(rules.space, "grid_bucketing", False))
+        self._slack_horizon = (16.0 if coord else 8.0) * rules.max_vel
+        cell_span = 2.0 if coord else 1.0
+        self.index = SpatialIndex(
+            rules.space,
+            cell=max(cell_span * rules.couple_threshold, 1.0))
+        self.index.bulk_load(enumerate(self.pos))
         #: agents per step value, for O(1) min-step maintenance.
         self._step_counts: dict[int, int] = {start_step: n}
         self._min_step = start_step
@@ -185,31 +211,59 @@ class SpatioTemporalGraph:
         self._bucket_fast = bool(getattr(rules.space, "cell_bucketing",
                                          False))
         #: Vectorized sub-paths additionally need numeric 2D coordinates
-        #: (numpy position mirror + within_mat neighbor masks).
+        #: (within_mat neighbor masks over the coordinate columns).
         self._coord_vec = self.index._grid and hasattr(rules.space,
                                                        "within_mat")
+        #: Exact type check: subclasses may override dist/within (e.g.
+        #: wrap-around metrics), which the inlined L2 would bypass.
+        self._euclid = type(rules.space) is EuclideanSpace
+        #: Graph metrics with dense integer node ids vectorize their
+        #: commit bookkeeping through GraphSpace.bucket_mat instead.
+        self._graph_vec = (self._bucket_fast and not self._coord_vec
+                           and getattr(rules.space, "dense_node_cells",
+                                       False))
+        #: §3.4/§3.6 graph-native coupling components: component id per
+        #: agent (-1 = must rebuild) plus the member lists, invalidated
+        #: from inside mark_running/commit — no external protocol.
+        self._comp_of: list[int] = [-1] * n
+        self._comp_members: dict[int, list[int]] = {}
+        self._comp_seq = 0
+        #: Per-member coupling candidates from the latest commit: exact
+        #: until the next commit, so component BFS seeds from them
+        #: instead of re-querying the spatial index.
+        self._fresh: dict[int, list[int]] = {}
+        #: Component BFS scratch buffer (distinct from the commit-path
+        #: _qbuf: a round may interleave with pure blocker queries).
+        self._cbuf: list[int] = []
+        self.comp_hits = 0
+        self.comp_misses = 0
         if self._bucket_fast:
             # Dense ids let the index read positions straight from the
             # graph's own list: commits update one storage, and
             # query_into sees every move for free.
             self.index._positions = self.pos
-            if self._coord_vec:
-                self._posarr = np.array(
-                    [[p[0], p[1]] for p in self.pos], dtype=np.float64
-                ) if n else np.zeros((0, 2), dtype=np.float64)
             cap = 64
             self._bstep = np.zeros(cap, dtype=np.int64)
             self._bx = np.zeros(cap, dtype=np.int64)
             self._by = np.zeros(cap, dtype=np.int64)
+            #: Reusable elementwise work buffers for single-row scans
+            #: (same capacity as the slot columns; no allocs per scan).
+            self._w0 = np.zeros(cap, dtype=np.int64)
+            self._w1 = np.zeros(cap, dtype=np.int64)
             self._bmembers: list[set[int] | None] = [None] * cap
             self._bkey: list[tuple[int, int, int] | None] = [None] * cap
             self._bslot: dict[tuple[int, int, int], int] = {}
             self._bcount = 0
             cell = self.index.cell
             bucket = rules.space.bucket
+            #: Current fine cell per agent: commits read the old cell
+            #: here instead of re-deriving it from the old position (no
+            #: float position mirror to maintain).
+            self._cellxy: list[tuple[int, int]] = [
+                bucket(p, cell) for p in self.pos]
             for aid in range(n):
                 self._bucket_add(
-                    (start_step,) + bucket(self.pos[aid], cell), (aid,))
+                    (start_step,) + self._cellxy[aid], (aid,))
         # instrumentation
         self.blocked_events = 0
         self.unblock_events = 0
@@ -236,6 +290,8 @@ class SpatioTemporalGraph:
             self._bstep = np.concatenate([self._bstep, grow])
             self._bx = np.concatenate([self._bx, grow])
             self._by = np.concatenate([self._by, grow.copy()])
+            self._w0 = np.zeros(slot * 2, dtype=np.int64)
+            self._w1 = np.zeros(slot * 2, dtype=np.int64)
             self._bmembers.extend([None] * slot)
             self._bkey.extend([None] * slot)
         self._bcount = slot + 1
@@ -270,6 +326,106 @@ class SpatioTemporalGraph:
             self._bslot[last_key] = slot
         self._bkey[last] = None
         self._bmembers[last] = None
+
+    # -- coupling components (§3.4, memoized §3.6) -------------------------
+
+    def component_for(self, aid: int, visited: set[int],
+                      exclude=None, strict: bool = False) -> list[int]:
+        """The coupling component of ``aid``, memoized between commits.
+
+        Returns the cached component when ``aid`` still belongs to a
+        valid one, else rebuilds it with :meth:`build_component` and
+        memoizes the result (singletons are skipped: they cost one
+        spatial query to rebuild and are invalidated on dispatch
+        anyway). Members are added to the caller's ``visited`` set
+        either way, so a round never re-seeds the same component.
+        """
+        cid = self._comp_of[aid]
+        if cid >= 0:
+            self.comp_hits += 1
+            members = self._comp_members[cid]
+            visited.update(members)
+            return members
+        self.comp_misses += 1
+        members = self.build_component(aid, visited, exclude, strict)
+        if len(members) > 1:
+            self._store_component(members)
+        return members
+
+    def build_component(self, aid: int, visited: set[int],
+                        exclude=None, strict: bool = False) -> list[int]:
+        """Fresh BFS of the coupling component around ``aid``.
+
+        Members are non-running agents at ``aid``'s step connected by
+        chains of coupling relations; candidates come from the latest
+        commit's per-member neighbor lists where available (exact until
+        the next commit) and from the spatial index otherwise.
+        ``exclude`` skips agents the caller manages out-of-band
+        (speculation); ``strict`` turns a running same-step agent
+        inside coupling range into a :class:`SchedulingError` (the
+        rules guarantee it cannot happen — reaching it means the
+        invariant broke).
+        """
+        step = self.step
+        step_v = step[aid]
+        running = self.running
+        pos = self.pos
+        threshold = self.rules.couple_threshold
+        query_into = self.index.query_into
+        fresh = self._fresh
+        qbuf = self._cbuf
+        stack = [aid]
+        members: list[int] = []
+        visited.add(aid)
+        while stack:
+            a = stack.pop()
+            members.append(a)
+            candidates = fresh.get(a)
+            if candidates is None:
+                candidates = query_into(pos[a], threshold, qbuf)
+            for other in candidates:
+                if other == a or other in visited:
+                    continue
+                if step[other] != step_v:
+                    continue
+                if exclude is not None and exclude(other):
+                    continue
+                if running[other]:
+                    if strict:
+                        raise SchedulingError(
+                            f"coupling invariant violated: agent {other} "
+                            f"is running at step {step_v} within coupling "
+                            f"range of ready agent {a}")
+                    continue
+                visited.add(other)
+                stack.append(other)
+        members.sort()
+        return members
+
+    def _store_component(self, members: list[int]) -> None:
+        self.invalidate_components(members)
+        cid = self._comp_seq
+        self._comp_seq += 1
+        self._comp_members[cid] = members
+        comp_of = self._comp_of
+        for aid in members:
+            comp_of[aid] = cid
+
+    def invalidate_components(self, aids: Iterable[int]) -> None:
+        """Drop every memoized component containing any of ``aids``.
+
+        Called from inside :meth:`mark_running` and :meth:`commit`;
+        external callers only need it when they change an agent's
+        dispatchability out-of-band (the speculative driver's squash
+        path).
+        """
+        comp_of = self._comp_of
+        members = self._comp_members
+        for aid in aids:
+            cid = comp_of[aid]
+            if cid >= 0:
+                for member in members.pop(cid):
+                    comp_of[member] = -1
 
     # -- queries ----------------------------------------------------------
 
@@ -323,8 +479,7 @@ class SpatioTemporalGraph:
         pos_a = self.pos[aid]
         self.scans += 1
         blockers, _, _, _ = self._scan_rows(
-            [aid], [s],
-            [self.rules.space.bucket(pos_a, self.index.cell)], [pos_a])
+            [aid], [s], [self._cellxy[aid]], [pos_a])
         return blockers[0]
 
     def _check_near(self, aid: int, s: int, near: list[int]
@@ -340,16 +495,27 @@ class SpatioTemporalGraph:
         step = self.step
         pos = self.pos
         dist = self.rules.space.dist
+        euclid = self._euclid
+        sqrt = math.sqrt
         base_r = self._base_r
         mv = self.rules.max_vel
         pa = pos[aid]
+        if euclid:
+            pax = pa[0]
+            pay = pa[1]
         blockers: set[int] = set()
         margins: dict[int, float] = {}
         for bid in near:
             g = s - step[bid]
             if g <= 0:
                 continue
-            d = dist(pa, pos[bid])
+            if euclid:
+                q = pos[bid]
+                dx = pax - q[0]
+                dy = pay - q[1]
+                d = sqrt(dx * dx + dy * dy)
+            else:
+                d = dist(pa, pos[bid])
             thr = base_r + g * mv
             if d <= thr:
                 blockers.add(bid)
@@ -378,13 +544,36 @@ class SpatioTemporalGraph:
         base_r = self._base_r
         horizon = self._slack_horizon
         cut = base_r + horizon
-        carr = np.array(cells, dtype=np.int64)
-        dc = np.abs(self._bx[:m][None, :] - carr[:, 0][:, None])
-        np.maximum(dc, np.abs(self._by[:m][None, :] - carr[:, 1][:, None]),
-                   out=dc)
-        gap = np.maximum(np.array(svs, dtype=np.int64)[:, None]
-                         - self._bstep[:m][None, :], 0)
-        hit = (dc - 1) * self.index.cell <= gap * mv + cut
+        cellsz = self.index.cell
+        bxm = self._bx[:m]
+        bym = self._by[:m]
+        bstepm = self._bstep[:m]
+        dc = self._w0[:m]
+        w1 = self._w1[:m]
+        min_step = self._min_step
+        pairs: list[tuple[int, int]] = []
+        # One 1-D masked pass per row over reusable work buffers: scan
+        # batches are small (usually one row), so per-row vector ops
+        # beat the (rows, slots) broadcast and its temporaries. The
+        # cell-distance prefilter uses the row's worst-case gap — every
+        # slot it dismisses fails the exact per-slot test a fortiori —
+        # so the exact threshold runs only on the surviving handful.
+        for r in range(len(ids)):
+            cx, cy = cells[r]
+            s = svs[r]
+            np.subtract(bxm, cx, out=dc)
+            np.absolute(dc, out=dc)
+            np.subtract(bym, cy, out=w1)
+            np.absolute(w1, out=w1)
+            np.maximum(dc, w1, out=dc)
+            reach = ((s - min_step) * mv + cut) / cellsz + 1.0
+            cand = np.nonzero(dc <= reach)[0]
+            if not cand.size:
+                continue
+            gap = np.maximum(s - bstepm[cand], 0)
+            hit = (dc[cand] - 1.0) * cellsz <= gap * mv + cut
+            for slot in cand[hit].tolist():
+                pairs.append((r, slot))
 
         blockers: list[set[int]] = [set() for _ in ids]
         margins: list[dict[int, float]] = [{} for _ in ids]
@@ -392,16 +581,20 @@ class SpatioTemporalGraph:
         slack = [horizon] * len(ids)
         pos = self.pos
         dist = self.rules.space.dist
+        euclid = self._euclid
+        sqrt = math.sqrt
         bstep = self._bstep
         members_of = self._bmembers
-        rows, slots = np.nonzero(hit)
-        for r, slot in zip(rows.tolist(), slots.tolist()):
+        for r, slot in pairs:
             aid = ids[r]
             s = svs[r]
             g = s - int(bstep[slot])
             thr = base_r + g * mv if g > 0 else base_r
             near_cut = thr + horizon
             pa = ppos[r]
+            if euclid:
+                pax = pa[0]
+                pay = pa[1]
             row_slack = slack[r]
             row_blockers = blockers[r]
             row_margins = margins[r]
@@ -410,7 +603,13 @@ class SpatioTemporalGraph:
             for bid in members_of[slot]:
                 if bid == aid:
                     continue
-                d = dist(pa, pos[bid])
+                if euclid:
+                    q = pos[bid]
+                    dx = pax - q[0]
+                    dy = pay - q[1]
+                    d = sqrt(dx * dx + dy * dy)
+                else:
+                    d = dist(pa, pos[bid])
                 sl = d - thr
                 if sl < row_slack:
                     row_slack = sl
@@ -439,6 +638,8 @@ class SpatioTemporalGraph:
     # -- lifecycle ----------------------------------------------------------
 
     def mark_running(self, aids: Iterable[int]) -> None:
+        aids = list(aids)
+        self.invalidate_components(aids)
         for aid in aids:
             if self.blocked_by[aid]:
                 raise SchedulingError(
@@ -449,16 +650,22 @@ class SpatioTemporalGraph:
             self.running[aid] = True
 
     def commit(self, aids: Iterable[int],
-               new_positions: Mapping[int, Position]) -> CommitResult:
+               new_positions: "Mapping[int, Position] | np.ndarray"
+               ) -> CommitResult:
         """Retire a batch of finished clusters, one step each.
 
         ``aids`` may span several clusters (ack coalescing hands the
         whole same-instant batch over at once); every member advances
-        one step and moves. Returns a :class:`CommitResult`: agents
-        whose blocker set became empty (newly dispatchable candidates,
+        one step and moves. ``new_positions`` is either a mapping by
+        agent id or a ``(k, 2)`` row array aligned with ``aids`` (the
+        replay driver gathers it straight from the trace's step-major
+        position store). Returns a :class:`CommitResult`: agents whose
+        blocker set became empty (newly dispatchable candidates,
         committed members included) plus the agents within coupling
-        range of the members' new positions (whose cached clusters the
-        controller must refresh).
+        range of the members' new positions. Memoized coupling
+        components of the members and that neighborhood are dropped
+        here, and the per-member lists become the BFS seeds for the
+        next round — no caller-side invalidation protocol.
         """
         members = list(aids)
         running = self.running
@@ -468,15 +675,23 @@ class SpatioTemporalGraph:
             running[aid] = False
         if not members:
             return CommitResult(set(), set())
-        if self._bucket_fast:
-            unblocked, per_member = self._commit_fast(members, new_positions)
+        if isinstance(new_positions, np.ndarray):
+            arr = new_positions
+            rows: list[Position] = [(r[0], r[1]) for r in arr.tolist()]
         else:
-            unblocked, per_member = self._commit_generic(members,
-                                                         new_positions)
+            arr = None
+            rows = [new_positions[aid] for aid in members]
+        if self._bucket_fast:
+            unblocked, per_member = self._commit_fast(members, rows, arr)
+        else:
+            unblocked, per_member = self._commit_generic(members, rows)
         self._release_waiters(members, unblocked)
         neighbors: set[int] = set()
         for lst in per_member.values():
             neighbors.update(lst)
+        self.invalidate_components(members)
+        self.invalidate_components(neighbors)
+        self._fresh = per_member
         return CommitResult(unblocked, neighbors, per_member)
 
     def _advance_steps(self, members: list[int]) -> None:
@@ -517,8 +732,35 @@ class SpatioTemporalGraph:
             wake[bid][aid] = self._wake_step(step[bid], s - step[bid],
                                              margins[bid])
 
-    def _commit_fast(self, members: list[int],
-                     new_positions: Mapping[int, Position]
+    def _migrate_slots(self, members: list[int],
+                       oc_list: list[tuple], nc_list: list[tuple]) -> None:
+        """Grouped step/cell slot migration (shared vectorized tail).
+
+        ``oc_list``/``nc_list`` carry each member's old/new cell,
+        derived in one numpy pass by the caller; shared ``(step, cell)``
+        keys retire through one discard/add each.
+        """
+        step = self.step
+        move_bucketed = self.index.move_bucketed
+        removals: dict[tuple[int, int, int], list[int]] = {}
+        additions: dict[tuple[int, int, int], list[int]] = {}
+        for i, aid in enumerate(members):
+            old_step = step[aid]
+            oc = oc_list[i]
+            nc = nc_list[i]
+            if nc != oc:
+                move_bucketed(aid, oc, nc)
+            removals.setdefault((old_step,) + oc, []).append(aid)
+            additions.setdefault((old_step + 1,) + nc, []).append(aid)
+        self._advance_steps(members)
+        # Old keys never collide with new ones (the step advanced).
+        for key, ids in removals.items():
+            self._bucket_discard(key, ids)
+        for key, ids in additions.items():
+            self._bucket_add(key, ids)
+
+    def _commit_fast(self, members: list[int], rows: list[Position],
+                     arr: "np.ndarray | None"
                      ) -> tuple[set[int], dict[int, list[int]]]:
         k = len(members)
         step = self.step
@@ -526,79 +768,71 @@ class SpatioTemporalGraph:
         index = self.index
         cell = index.cell
         move_bucketed = index.move_bucketed
+        cells = self._cellxy
         nc_list: list[tuple[int, int]] = []
         if k >= _VEC_BATCH and self._coord_vec:
             # Vectorized cell derivation (coordinate spaces): one numpy
             # pass for the whole batch serves the fine index and the
             # step-bucketed index alike (both match Space.bucket
-            # semantics), and grouped slot migration retires shared
-            # (step, cell) keys once.
-            posarr = self._posarr
-            removals: dict[tuple[int, int, int], list[int]] = {}
-            additions: dict[tuple[int, int, int], list[int]] = {}
-            marr = np.fromiter(members, dtype=np.int64, count=k)
-            newpos = np.array([new_positions[aid] for aid in members],
-                              dtype=np.float64)
-            oldpos = posarr[marr]
-            posarr[marr] = newpos
-            oc_pairs = np.floor_divide(oldpos, cell).astype(
-                np.int64).tolist()
+            # semantics), old cells come from the per-agent cell store,
+            # and grouped slot migration retires shared (step, cell)
+            # keys once.
+            newpos = arr if arr is not None else np.array(
+                rows, dtype=np.float64)
             nc_pairs = np.floor_divide(newpos, cell).astype(
                 np.int64).tolist()
+            nc_list = [(c[0], c[1]) for c in nc_pairs]
+            oc_list = [cells[aid] for aid in members]
             for i, aid in enumerate(members):
-                old_step = step[aid]
-                pos[aid] = new_positions[aid]
-                ox, oy = oc_pairs[i]
-                nc = (nc_pairs[i][0], nc_pairs[i][1])
-                nc_list.append(nc)
-                if nc[0] != ox or nc[1] != oy:
-                    move_bucketed(aid, (ox, oy), nc)
-                removals.setdefault((old_step, ox, oy), []).append(aid)
-                additions.setdefault((old_step + 1,) + nc, []).append(aid)
-            self._advance_steps(members)
-            # Old keys never collide with new ones (the step advanced).
-            for key, ids in removals.items():
-                self._bucket_discard(key, ids)
-            for key, ids in additions.items():
-                self._bucket_add(key, ids)
+                pos[aid] = rows[i]
+                cells[aid] = nc_list[i]
+            self._migrate_slots(members, oc_list, nc_list)
+        elif k >= _VEC_BATCH and self._graph_vec:
+            # Graph metric, dense node ids: the same numpy path with
+            # cells from GraphSpace.bucket_mat over the node-id column
+            # instead of coordinate floor division.
+            bucket_mat = self.rules.space.bucket_mat
+            new_nodes = arr[:, 0].astype(np.int64) if arr is not None \
+                else np.fromiter((r[0] for r in rows), dtype=np.int64,
+                                 count=k)
+            nb0, nb1 = bucket_mat(new_nodes, cell)
+            nc_list = list(zip(nb0.tolist(), nb1.tolist()))
+            oc_list = [cells[aid] for aid in members]
+            for i, aid in enumerate(members):
+                pos[aid] = rows[i]
+                cells[aid] = nc_list[i]
+            self._migrate_slots(members, oc_list, nc_list)
         elif self._coord_vec:
             # Small batch (the steady-state norm): one fused pass per
             # member, no grouping dicts, bucket transfer only on cell
             # crossings.
-            posarr = self._posarr
-            for aid in members:
+            for i, aid in enumerate(members):
                 old_step = step[aid]
-                old_p = pos[aid]
-                new_p = new_positions[aid]
+                new_p = rows[i]
                 pos[aid] = new_p
-                x = new_p[0]
-                y = new_p[1]
-                posarr[aid, 0] = x
-                posarr[aid, 1] = y
-                ox = int(old_p[0] // cell)
-                oy = int(old_p[1] // cell)
-                nx = int(x // cell)
-                ny = int(y // cell)
-                if nx != ox or ny != oy:
-                    move_bucketed(aid, (ox, oy), (nx, ny))
-                nc_list.append((nx, ny))
-                self._bucket_discard((old_step, ox, oy), (aid,))
-                self._bucket_add((old_step + 1, nx, ny), (aid,))
-            self._advance_steps(members)
-        else:
-            # Non-coordinate spaces (graph metric): identical
-            # bookkeeping, cells from Space.bucket instead of floor
-            # division, no numpy position mirror to maintain.
-            bucket = self.rules.space.bucket
-            for aid in members:
-                old_step = step[aid]
-                old_p = pos[aid]
-                new_p = new_positions[aid]
-                pos[aid] = new_p
-                oc = bucket(old_p, cell)
-                nc = bucket(new_p, cell)
+                nc = (int(new_p[0] // cell), int(new_p[1] // cell))
+                oc = cells[aid]
                 if nc != oc:
                     move_bucketed(aid, oc, nc)
+                    cells[aid] = nc
+                nc_list.append(nc)
+                self._bucket_discard((old_step,) + oc, (aid,))
+                self._bucket_add((old_step + 1,) + nc, (aid,))
+            self._advance_steps(members)
+        else:
+            # Non-coordinate spaces without dense node ids: identical
+            # bookkeeping, cells from Space.bucket instead of floor
+            # division.
+            bucket = self.rules.space.bucket
+            for i, aid in enumerate(members):
+                old_step = step[aid]
+                new_p = rows[i]
+                pos[aid] = new_p
+                nc = bucket(new_p, cell)
+                oc = cells[aid]
+                if nc != oc:
+                    move_bucketed(aid, oc, nc)
+                    cells[aid] = nc
                 nc_list.append(nc)
                 self._bucket_discard((old_step,) + oc, (aid,))
                 self._bucket_add((old_step + 1,) + nc, (aid,))
@@ -675,13 +909,47 @@ class SpatioTemporalGraph:
         cell = self.index.cell
         r = self.rules.couple_threshold
         per_member: dict[int, list[int]] = {}
-        if len(members) < _VEC_BATCH or not self._coord_vec:
+        if not self.index._grid:
             query_into = self.index.query_into
             qbuf = self._qbuf
             for aid in members:
                 per_member[aid] = [bid for bid
                                    in query_into(pos[aid], r, qbuf)
                                    if bid != aid]
+            return per_member
+        if len(members) < _VEC_BATCH or not self._coord_vec:
+            # Inlined grid query: same cell window as query_into, but
+            # the self-check and the buffer copy are fused away, and
+            # the Euclidean membership test runs as a plain squared-
+            # distance expression (no per-candidate call).
+            within = self.index._within
+            euclid = self._euclid
+            r2 = r * r
+            for aid in members:
+                pa = pos[aid]
+                x = pa[0]
+                y = pa[1]
+                cx1 = int((x + r) // cell)
+                cy1 = int((y + r) // cell)
+                found: list[int] = []
+                for bx in range(int((x - r) // cell), cx1 + 1):
+                    for by in range(int((y - r) // cell), cy1 + 1):
+                        b = buckets.get((bx, by))
+                        if not b:
+                            continue
+                        if euclid:
+                            for bid in b:
+                                if bid != aid:
+                                    q = pos[bid]
+                                    dx = x - q[0]
+                                    dy = y - q[1]
+                                    if dx * dx + dy * dy <= r2:
+                                        found.append(bid)
+                        else:
+                            for bid in b:
+                                if bid != aid and within(pa, pos[bid], r):
+                                    found.append(bid)
+                per_member[aid] = found
             return per_member
         cand: set[int] = set()
         seen: set[tuple[int, int]] = set()
@@ -705,8 +973,8 @@ class SpatioTemporalGraph:
         clist = list(cand)
         mpos = np.array([[pos[a][0], pos[a][1]] for a in members],
                         dtype=np.float64)
-        cpos = self._posarr[np.fromiter(clist, dtype=np.int64,
-                                        count=len(clist))]
+        cpos = np.array([[pos[c][0], pos[c][1]] for c in clist],
+                        dtype=np.float64)
         dx = mpos[:, 0][:, None] - cpos[:, 0][None, :]
         dy = mpos[:, 1][:, None] - cpos[:, 1][None, :]
         mask = self.rules.space.within_mat(dx, dy, r)
@@ -720,15 +988,14 @@ class SpatioTemporalGraph:
                 per_member[aid].append(bid)
         return per_member
 
-    def _commit_generic(self, members: list[int],
-                        new_positions: Mapping[int, Position]
+    def _commit_generic(self, members: list[int], rows: list[Position]
                         ) -> tuple[set[int], dict[int, list[int]]]:
-        """Non-grid spaces: per-member queries (no numpy batch path)."""
+        """Non-bucketed spaces: per-member queries (no numpy batch path)."""
         step = self.step
         pos = self.pos
         index = self.index
-        for aid in members:
-            new_p = new_positions[aid]
+        for i, aid in enumerate(members):
+            new_p = rows[i]
             pos[aid] = new_p
             index.move(aid, new_p)
         self._advance_steps(members)
@@ -783,6 +1050,8 @@ class SpatioTemporalGraph:
         blocked_by = self.blocked_by
         wake = self._wake
         dist = self.rules.space.dist
+        euclid = self._euclid
+        sqrt = math.sqrt
         base_r = self._base_r
         mv = self.rules.max_vel
         for b in members:
@@ -800,7 +1069,13 @@ class SpatioTemporalGraph:
                 self.wake_checks += 1
                 g = step[a] - s_b
                 if g > 0:
-                    d = dist(pos[a], pos_b)
+                    if euclid:
+                        q = pos[a]
+                        dx = q[0] - pos_b[0]
+                        dy = q[1] - pos_b[1]
+                        d = sqrt(dx * dx + dy * dy)
+                    else:
+                        d = dist(pos[a], pos_b)
                     thr = base_r + g * mv  # == block_threshold(g)
                     if d <= thr:
                         wake_b[a] = self._wake_step(s_b, g, thr - d)

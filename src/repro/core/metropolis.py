@@ -11,26 +11,37 @@ The driver plays both roles of the paper's architecture in virtual time:
   the dependency graph (§3.3), and hand newly unblocked agents back to
   the controller.
 
-The controller's critical path is kept light (§3.6) three ways:
+The controller's critical path is kept light (§3.6) by a flat,
+array-backed round loop:
 
-* **incremental clustering** — connected coupling components are cached
-  between commits (:class:`~repro.core.clustering.ClusterCache`); only
-  agents that moved, stepped, or gained a new coupling-range neighbor
-  are re-BFS'd, everything else re-uses its memoized component;
-* **ack coalescing with batched commits** — clusters finishing at the
-  same virtual instant accumulate and the flush retires the whole batch
-  through *one* vectorized :meth:`SpatioTemporalGraph.commit` (one
-  broadcasted blocker-scan pass, one neighborhood pass) followed by one
-  controller round, instead of a commit + round per ack;
-* **single-pass commits** — the dependency graph returns the batch's
-  coupling neighborhood and newly unblocked agents from the same pass
-  that recomputes blockers, so the controller never re-queries.
+* **graph-native incremental clustering** — coupling components are
+  memoized *inside* :class:`SpatioTemporalGraph` (``component_for``),
+  invalidated by the graph's own ``mark_running``/``commit``
+  transitions and re-BFS'd from the neighbor lists each commit already
+  returns — the driver runs no cache-invalidation protocol;
+* **single-event rounds** — one kernel event per virtual instant does
+  everything: all clusters finishing at that instant retire through one
+  batched graph commit, then one dispatch round runs, and every cluster
+  it dispatches launches through one shared dispatch event. The old
+  per-cluster event churn (a dispatch, a commit, and a flush event per
+  cluster) is gone; ``DriverStats.extra["kernel_events"]`` counts the
+  events the driver schedules, amortized well below one per cluster;
+* **step-keyed dispatch buckets** — pending clusters queue in numpy-
+  backed buckets keyed by integer step priority instead of a heap of
+  python tuples;
+* **numpy trace position store** — commit batches gather their members'
+  next positions from the trace's step-major array in one fancy index
+  and hand the row array straight to the graph, which returns the
+  batch's coupling neighborhood and newly unblocked agents from the
+  same pass that recomputes blockers.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from time import perf_counter
+
+import numpy as np
 
 from ..config import SchedulerConfig
 from ..devent import Kernel
@@ -38,10 +49,65 @@ from ..errors import SchedulingError
 from ..serving import ServingEngine
 from ..trace import Trace
 from .baselines import DriverStats
-from .clustering import ClusterCache
 from .dependency_graph import SpatioTemporalGraph
 from .rules import rules_for
 from .tasks import ChainExecutor
+
+#: Interactive clusters sort before every regular step key (§6 hybrid
+#: deployment) while keeping step order among themselves.
+_INTERACTIVE_BOOST = 1 << 40
+
+
+class _DispatchBuckets:
+    """Step-keyed dispatch queue (§3.5 priority order without a heap).
+
+    Pending clusters bucket by an integer priority key — the step under
+    priority scheduling, a constant in FIFO mode, ``step -
+    _INTERACTIVE_BOOST`` for interactive clusters — FIFO within a
+    bucket. Active keys sit densely packed in a numpy vector, so pop is
+    one vectorized argmin over the live prefix (the live key count
+    tracks the step spread: a handful) instead of log-n python tuple
+    comparisons per push/pop.
+    """
+
+    __slots__ = ("_buckets", "_keys", "_count", "_n")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, deque] = {}
+        self._keys = np.empty(8, dtype=np.int64)
+        self._count = 0
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def push(self, key: int, item) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            count = self._count
+            if count == len(self._keys):
+                self._keys = np.resize(self._keys, count * 2)
+            self._keys[count] = key
+            self._count = count + 1
+        bucket.append(item)
+        self._n += 1
+
+    def pop(self):
+        """Remove and return the item with the smallest key (FIFO ties)."""
+        count = self._count
+        idx = int(np.argmin(self._keys[:count])) if count > 1 else 0
+        key = int(self._keys[idx])
+        bucket = self._buckets[key]
+        item = bucket.popleft()
+        self._n -= 1
+        if not bucket:
+            del self._buckets[key]
+            count -= 1
+            self._count = count
+            if idx != count:
+                self._keys[idx] = self._keys[count]
+        return item
 
 
 class MetropolisDriver:
@@ -57,40 +123,34 @@ class MetropolisDriver:
         self.stats = DriverStats()
         self.n_steps = trace.meta.n_steps
         n = trace.meta.n_agents
-        #: Per-agent position rows as plain tuples: the commit path
-        #: reads one position per member per step, and indexing a
-        #: prebuilt list beats unpacking the trace's numpy row each
-        #: time.
-        self._pos_rows = [
-            [(int(x), int(y)) for x, y in row]
-            for row in trace.positions.tolist()]
-        self.graph = SpatioTemporalGraph(
-            self.rules, {aid: self._pos_rows[aid][0] for aid in range(n)})
+        #: Step-major trace position store: commit batches gather their
+        #: (step + 1, agent) rows in one flat fancy index — no per-agent
+        #: tuple lists are ever materialized.
+        self._pos_sa = trace.positions_by_step
+        self._pos_flat = np.ascontiguousarray(self._pos_sa).reshape(-1, 2)
+        self.graph = SpatioTemporalGraph(self.rules, self._pos_sa[0])
         #: Agents finished with their previous step and not yet dispatched.
         self.ready: set[int] = set(range(n))
         self.done: set[int] = set()
-        #: §3.6 incremental clustering: memoized coupling components.
-        self._clusters = ClusterCache()
         self._running_clusters = 0
-        #: Remaining-task counters per running cluster id.
-        self._cluster_remaining: dict[int, int] = {}
-        self._cluster_members: dict[int, list[int]] = {}
-        self._cluster_step: dict[int, int] = {}
+        #: Per running cluster: [tasks remaining, members, step].
+        self._running_info: dict[int, list] = {}
         self._cluster_seq = 0
         #: Dispatchable clusters awaiting a worker slot (when capped).
-        self._pending: list[tuple[float, int, list[int], int]] = []
+        self._pending = _DispatchBuckets()
         self._pending_seq = 0
         self._busy_workers = 0
-        #: Ack coalescing: clusters finished at the same virtual instant
-        #: accumulate here and retire through one batched graph commit
-        #: plus one controller round at the flush.
-        self._commit_buf: list[tuple[int, list[int]]] = []
+        #: Single-event rounds: clusters finishing at the same virtual
+        #: instant buffer under their shared commit due-time; one kernel
+        #: event retires the whole batch through one graph commit and
+        #: runs one dispatch round.
+        self._round_pending: dict[float, list[tuple[int, list[int]]]] = {}
         self._dirty_accum: set[int] = set()
-        self._flush_scheduled = False
-        #: Per-member coupling candidates from the latest batch commit:
-        #: exact until the next commit, so the very next round's cluster
-        #: BFS seeds from them instead of re-querying the index.
-        self._fresh_neighbors: dict[int, list[int]] = {}
+        #: Kernel events scheduled by the driver (the §3.6 churn gauge;
+        #: amortized well below one per cluster with batched rounds).
+        self._kernel_events = 0
+        #: Component-BFS exclusion hook (speculation overrides).
+        self._exclude_hook = None
         #: §6 hybrid deployment: latency-critical agents (see
         #: SchedulerConfig.interactive_agents).
         self._interactive = frozenset(config.interactive_agents)
@@ -116,80 +176,53 @@ class MetropolisDriver:
         graph = self.graph
         visited: set[int] = set()
         clusters: list[tuple[int, list[int]]] = []
-        cached = self._clusters.get
+        component = graph.component_for
+        exclude = self._exclude_hook
         is_blocked = graph.blocked_by
+        ready = self.ready
+        step = graph.step
         for aid in dirty:
-            if aid in visited or aid not in self.ready:
+            if aid in visited or aid not in ready:
                 continue
-            cluster = cached(aid)
-            if cluster is None:
-                cluster = self._collect_cluster(aid, visited)
-                if len(cluster) > 1:
-                    # Singletons are one spatial query to rebuild and
-                    # are invalidated on dispatch anyway: memoizing them
-                    # costs more than it saves.
-                    self._clusters.store(cluster)
+            cluster = component(aid, visited, exclude, True)
+            for m in cluster:
+                if is_blocked[m]:
+                    break
             else:
-                visited.update(cluster)
-            if not any(is_blocked[m] for m in cluster):
-                clusters.append((graph.step[aid], cluster))
+                clusters.append((step[aid], cluster))
         t1 = perf_counter()
-        # Step-priority dispatch order (§3.5); irrelevant when uncapped.
-        clusters.sort(key=lambda pair: pair[0] if self.config.priority else 0)
-        for step, cluster in clusters:
-            self._enqueue_cluster(step, cluster)
-        self._fill_workers()
+        if self.config.num_workers == 0 and clusters:
+            # Uncapped workers: every unblocked cluster dispatches this
+            # instant, so the pending buckets are bypassed outright and
+            # the whole round launches through one kernel event.
+            launches: list[tuple[int, list[int], int, float]] = []
+            for s, cluster in clusters:
+                for m in cluster:
+                    ready.discard(m)
+                graph.mark_running(cluster)
+                self._pending_seq += 1
+                self._admit(s, cluster, launches)
+            self._kernel_events += 1
+            self.kernel.call_in(self.config.overhead.controller_dispatch,
+                                self._launch_batch, launches)
+        else:
+            for s, cluster in clusters:
+                self._enqueue_cluster(s, cluster)
+            self._fill_workers()
         t2 = perf_counter()
         stats = self.stats
         stats.time_clustering += t1 - t0
         stats.time_dispatch += t2 - t1
         stats.controller_rounds += 1
-        stats.extra["cluster_cache_hits"] = self._clusters.hits
-        stats.extra["cluster_cache_misses"] = self._clusters.misses
         self._check_progress()
 
-    def _clustering_exclude(self, aid: int) -> bool:
-        """Hook: agents the BFS must not absorb (speculation override)."""
-        return False
-
     def _collect_cluster(self, seed_aid: int, visited: set[int]) -> list[int]:
-        """Connected coupling component of ready agents around ``seed_aid``."""
-        graph = self.graph
-        step = graph.step[seed_aid]
-        threshold = self.rules.couple_threshold
-        stack = [seed_aid]
-        members = []
-        visited.add(seed_aid)
-        qbuf: list[int] = []
-        fresh = self._fresh_neighbors
-        while stack:
-            aid = stack.pop()
-            members.append(aid)
-            candidates = fresh.get(aid)
-            if candidates is None:
-                candidates = graph.index.query_into(graph.pos[aid],
-                                                    threshold, qbuf)
-            for other in candidates:
-                if other == aid or other in visited:
-                    continue
-                if graph.step[other] != step:
-                    continue
-                if other in self.done or self._clustering_exclude(other):
-                    continue
-                if graph.running[other]:
-                    # The rules guarantee a running same-step agent can
-                    # never sit inside a newly-ready agent's coupling
-                    # radius; reaching this line means the invariant broke.
-                    raise SchedulingError(
-                        f"coupling invariant violated: agent {other} is "
-                        f"running at step {step} within coupling range of "
-                        f"ready agent {aid}")
-                visited.add(other)
-                stack.append(other)
-        return sorted(members)
+        """Fresh (uncached) coupling component around ``seed_aid``."""
+        return self.graph.build_component(seed_aid, visited,
+                                          self._exclude_hook, True)
 
     def _cluster_priority(self, step: int, cluster: list[int]) -> float:
-        """Dispatch/serving priority for a cluster (lower = sooner).
+        """Serving-side request priority for a cluster (lower = sooner).
 
         Interactive clusters — and any cluster inside an interactive
         agent's dependency cone, which could block it within the
@@ -203,6 +236,15 @@ class MetropolisDriver:
         if self.config.priority:
             return float(step)
         return float(self._pending_seq)
+
+    def _dispatch_key(self, step: int, cluster: list[int]) -> int:
+        """Integer dispatch-bucket key mirroring ``_cluster_priority``."""
+        if self._interactive and self.config.interactive_boost \
+                and self._in_interactive_cone(cluster):
+            return step - _INTERACTIVE_BOOST
+        if self.config.priority:
+            return step
+        return 0  # FIFO: one bucket, arrival order
 
     def _cone_agents(self) -> set[int]:
         """Agents within the interactive dependency cone, via the index.
@@ -226,25 +268,49 @@ class MetropolisDriver:
         return not self._cone_agents().isdisjoint(cluster)
 
     def _enqueue_cluster(self, step: int, cluster: list[int]) -> None:
-        self._clusters.invalidate(cluster)
         for m in cluster:
             self.ready.discard(m)
         self.graph.mark_running(cluster)
-        key = self._cluster_priority(step, cluster)
         self._pending_seq += 1
-        heapq.heappush(self._pending,
-                       (key, self._pending_seq, cluster, step))
+        self._pending.push(self._dispatch_key(step, cluster),
+                           (cluster, step))
+
+    def _admit(self, step: int, cluster: list[int],
+               launches: list[tuple[int, list[int], int, float]]) -> None:
+        """Claim a worker slot for ``cluster`` and stage its launch."""
+        self._busy_workers += 1
+        self._running_clusters += 1
+        stats = self.stats
+        stats.clusters_dispatched += 1
+        stats.cluster_size_sum += len(cluster)
+        cid = self._cluster_seq = self._cluster_seq + 1
+        self._running_info[cid] = [len(cluster), cluster, step]
+        priority = self._cluster_priority(step, cluster) \
+            if (self._interactive and self.config.interactive_boost) \
+            else float(step)
+        launches.append((cid, cluster, step, priority))
 
     def _fill_workers(self) -> None:
+        """Dispatch pending clusters into free worker slots.
+
+        Every cluster dispatched here shares the round's virtual
+        instant, so the whole batch launches through a single kernel
+        event instead of one per cluster.
+        """
         cap = self.config.num_workers
-        while self._pending and (cap == 0 or self._busy_workers < cap):
-            _, _, cluster, step = heapq.heappop(self._pending)
-            self._busy_workers += 1
-            self._dispatch(step, cluster)
+        pending = self._pending
+        launches: list[tuple[int, list[int], int, float]] = []
+        while pending and (cap == 0 or self._busy_workers < cap):
+            cluster, step = pending.pop()
+            self._admit(step, cluster, launches)
+        if launches:
+            self._kernel_events += 1
+            self.kernel.call_in(self.config.overhead.controller_dispatch,
+                                self._launch_batch, launches)
 
     def _check_progress(self) -> None:
         if (not self._running_clusters and not self._pending
-                and not self._flush_scheduled
+                and not self._round_pending
                 and len(self.done) < self.graph.n_agents):
             blocked = {aid: sorted(self.graph.blockers_of(aid))
                        for aid in sorted(self.ready)}
@@ -255,117 +321,119 @@ class MetropolisDriver:
 
     # -- workers -----------------------------------------------------------
 
-    def _dispatch(self, step: int, cluster: list[int]) -> None:
-        self._running_clusters += 1
-        self.stats.clusters_dispatched += 1
-        self.stats.cluster_size_sum += len(cluster)
-        cid = self._cluster_seq = self._cluster_seq + 1
-        self._cluster_remaining[cid] = len(cluster)
-        self._cluster_members[cid] = cluster
-        self._cluster_step[cid] = step
-        request_priority = self._cluster_priority(step, cluster) \
-            if (self._interactive and self.config.interactive_boost) \
-            else float(step)
-        # One kernel event launches the whole cluster's chains (they all
-        # share the dispatch overhead instant and the completion hook).
-        self.kernel.call_in(
-            self.config.overhead.controller_dispatch,
-            self._launch_cluster, cid, cluster, step, request_priority)
-
-    def _launch_cluster(self, cid: int, cluster: list[int], step: int,
-                        priority: float) -> None:
+    def _launch_batch(self,
+                      launches: list[tuple[int, list[int], int, float]]
+                      ) -> None:
         run_task = self.executor.run_task
+        task_done = self._task_done
+        for cid, cluster, step, priority in launches:
+            def done(a: int, s: int, cid: int = cid) -> None:
+                task_done(cid, a, s)
 
-        def done(a: int, s: int) -> None:
-            self._task_done(cid, a, s)
-
-        for aid in cluster:
-            run_task(aid, step, priority, done)
+            for aid in cluster:
+                run_task(aid, step, priority, done)
 
     def _task_done(self, cid: int, aid: int, step: int) -> None:
         self.stats.tasks_completed += 1
-        self._cluster_remaining[cid] -= 1
-        if self._cluster_remaining[cid] == 0:
+        info = self._running_info[cid]
+        info[0] -= 1
+        if info[0] == 0:
+            del self._running_info[cid]
+            self._queue_commit(info[2], info[1])
+
+    def _queue_commit(self, step: int, members: list[int]) -> None:
+        """Buffer a finished cluster for its instant's controller round.
+
+        Clusters finishing at the same virtual instant share one round
+        event at ``now + cluster_commit``: the round retires the whole
+        batch through one graph commit, then dispatches.
+        """
+        due = self.kernel.now + self.config.overhead.cluster_commit
+        batch = self._round_pending.get(due)
+        if batch is None:
+            self._round_pending[due] = batch = []
+            self._kernel_events += 1
             self.kernel.call_in(self.config.overhead.cluster_commit,
-                                self._commit_cluster, cid)
+                                self._controller_round_event, due)
+        batch.append((step, members))
 
-    def _commit_cluster(self, cid: int) -> None:
-        members = self._cluster_members.pop(cid)
-        step = self._cluster_step.pop(cid)
-        del self._cluster_remaining[cid]
-        self._running_clusters -= 1
-        self._busy_workers -= 1
-        # Ack coalescing: clusters finishing at the same virtual instant
-        # accumulate and retire as one batched graph commit at the flush
-        # (scheduled at the same timestamp, after the commits).
-        self._commit_buf.append((step, members))
-        if not self._flush_scheduled:
-            self._flush_scheduled = True
-            self.kernel.call_in(0.0, self._flush_controller_round)
+    def _controller_round_event(self, due: float) -> None:
+        batch = self._round_pending.pop(due)
+        self._running_clusters -= len(batch)
+        self._busy_workers -= len(batch)
+        self._retire_commits(batch)
+        self._flush_controller_round()
 
-    def _retire_commits(self) -> None:
-        """Apply every accumulated cluster in one vectorized graph commit."""
-        batch, self._commit_buf = self._commit_buf, []
-        if not batch:
-            return
+    def _retire_commits(self, batch: list[tuple[int, list[int]]]) -> None:
+        """Apply every cluster of the batch in one vectorized graph commit."""
         t0 = perf_counter()
-        pos_rows = self._pos_rows
+        n = self.graph.n_agents
         members_all: list[int] = []
-        new_positions: dict[int, tuple] = {}
+        rows: list[int] = []
         for step, members in batch:
+            base = (step + 1) * n
             members_all += members
-            nxt = step + 1
             for aid in members:
-                new_positions[aid] = pos_rows[aid][nxt]
+                rows.append(base + aid)
         graph = self.graph
-        result = graph.commit(members_all, new_positions)
+        # One flat fancy-index gather from the step-major store replaces
+        # the per-member position dict of the tuple-list era.
+        result = graph.commit(members_all, self._pos_flat[rows])
         spread = graph.max_step - graph.min_step
         if spread > self.stats.max_step_spread:
             self.stats.max_step_spread = spread
         if self.config.validate_causality:
             graph.validate()
-        # A mover's coupling neighborhood may merge with its component;
-        # drop those memoized components before the next round.
-        self._clusters.invalidate(result.neighbors)
-        # Until the next commit these are each member's exact coupling
-        # candidates — the flush round's BFS seeds from them for free.
-        self._fresh_neighbors = result.member_neighbors
         dirty = self._dirty_accum
         n_steps = self.n_steps
+        if self._interactive:
+            now = self.kernel.now
+            for aid in members_all:
+                if aid in self._interactive:
+                    self.interactive_latencies.append(
+                        now - self._last_commit_time[aid])
+                    self._last_commit_time[aid] = now
+        done = self.done
+        ready = self.ready
+        step = graph.step
         for aid in members_all:
-            if aid in self._interactive:
-                now = self.kernel.now
-                self.interactive_latencies.append(
-                    now - self._last_commit_time[aid])
-                self._last_commit_time[aid] = now
-            if graph.step[aid] >= n_steps:
-                self.done.add(aid)
+            if step[aid] >= n_steps:
+                done.add(aid)
             else:
-                self.ready.add(aid)
+                ready.add(aid)
                 dirty.add(aid)
         # Newly unblocked waiters plus ready agents near the movers.
-        ready = self.ready
         for aid in result.unblocked:
             if aid in ready:
                 dirty.add(aid)
         for aid in result.neighbors:
             if aid in ready:
                 dirty.add(aid)
+        self.stats.time_graph += perf_counter() - t0
+
+    def _flush_controller_round(self) -> None:
+        dirty, self._dirty_accum = self._dirty_accum, set()
+        self._controller_round(dirty)
+
+    def _sync_stats(self) -> None:
+        """Fold the graph's counters into the stats record.
+
+        Called at end-of-run instead of every round: the counters live
+        on the graph, so per-round mirroring was pure hot-loop cost.
+        """
+        graph = self.graph
         stats = self.stats
         stats.blocked_events = graph.blocked_events
         stats.unblock_events = graph.unblock_events
+        stats.extra["cluster_cache_hits"] = graph.comp_hits
+        stats.extra["cluster_cache_misses"] = graph.comp_misses
         stats.extra["graph_scans"] = graph.scans
         stats.extra["graph_scan_skips"] = graph.scan_skips
         stats.extra["graph_near_checks"] = graph.near_checks
         stats.extra["graph_wake_skips"] = graph.wake_skips
         stats.extra["graph_fallback_scans"] = graph.fallback_scans
-        stats.time_graph += perf_counter() - t0
-
-    def _flush_controller_round(self) -> None:
-        self._flush_scheduled = False
-        self._retire_commits()
-        dirty, self._dirty_accum = self._dirty_accum, set()
-        self._controller_round(dirty)
+        stats.extra["kernel_events"] = self._kernel_events
 
     def finished(self) -> bool:
+        self._sync_stats()
         return len(self.done) == self.graph.n_agents

@@ -42,8 +42,10 @@ def mine_interaction_groups(trace: Trace) -> list[list[list[int]]]:
     groups: list[list[list[int]]] = []
     n = trace.meta.n_agents
     ids = list(range(n))
+    pos_sa = trace.positions_by_step
     for step in range(trace.meta.n_steps):
-        positions = [trace.pos(aid, step) for aid in ids]
+        # One contiguous step slice instead of n per-agent reads.
+        positions = [(r[0], r[1]) for r in pos_sa[step].tolist()]
         groups.append(geo_clustering(ids, positions, space,
                                      trace.meta.radius_p))
     return groups

@@ -24,7 +24,7 @@ Two capability flags let the scheduler pick its fast paths per space:
 from __future__ import annotations
 
 import math
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Hashable, Iterable, Protocol
 
 import numpy as np
@@ -165,8 +165,14 @@ class GraphSpace:
 
     grid_bucketing = False
 
+    #: Default bound on the per-source BFS distance cache (sources kept
+    #: live at once; an LRU so million-node graphs cannot accumulate one
+    #: full distance field per node ever queried).
+    DIST_CACHE_SIZE = 4096
+
     def __init__(self, adjacency: dict[Hashable, Iterable[Hashable]],
-                 bucketing: bool = True) -> None:
+                 bucketing: bool = True,
+                 dist_cache_size: int | None = None) -> None:
         self._adj = {node: tuple(neigh) for node, neigh in adjacency.items()}
         for node, neigh in self._adj.items():
             for other in neigh:
@@ -175,14 +181,33 @@ class GraphSpace:
                         f"edge {node!r} -> {other!r} references a node "
                         f"missing from the adjacency")
         self._n = len(self._adj)
-        self._cache: dict[Hashable, dict[Hashable, int]] = {}
+        #: LRU of per-source BFS distance fields, bounded so memory
+        #: stays O(cache_size * n) regardless of how many distinct
+        #: sources the scheduler touches over a long run.
+        self._cache: "OrderedDict[Hashable, dict[Hashable, int]]" = \
+            OrderedDict()
+        self._cache_cap = max(1, int(self.DIST_CACHE_SIZE
+                                     if dist_cache_size is None
+                                     else dist_cache_size))
+        #: One-slot memo for consecutive same-source distance lookups.
+        self._last_src: Hashable = object()
+        self._last_field: dict[Hashable, int] = {}
         #: node -> (level from landmark 0, level from landmark 1,
         #: component index); empty when bucketing is off.
         self._levels: dict[Hashable, tuple[int, int, int]] = {}
+        #: Dense node-id mirror of ``_levels`` (nodes are ``(id, 0)``
+        #: pairs with small non-negative int ids, the trace position
+        #: convention): row ``id`` holds (l0, l1, comp), -1 = unknown.
+        #: Lets the dependency graph's batched commits derive cells for
+        #: a whole batch in one :meth:`bucket_mat` call.
+        self._larr: np.ndarray | None = None
         self.cell_bucketing = False
+        #: True when :meth:`bucket_mat` is usable (dense int node ids).
+        self.dense_node_cells = False
         if bucketing and self._adj:
             self._build_landmarks()
             self.cell_bucketing = True
+            self._build_dense_levels()
 
     # -- construction -------------------------------------------------------
 
@@ -220,6 +245,51 @@ class GraphSpace:
             comp += 1
         self._ncomp = comp
 
+    def _build_dense_levels(self) -> None:
+        """Mirror the landmark levels into an id-indexed numpy table.
+
+        Only when every node follows the trace position convention —
+        a ``(id, 0)`` pair with a reasonably dense non-negative int id —
+        so :meth:`bucket_mat` can serve vectorized commit bookkeeping.
+        """
+        ids = []
+        for node in self._levels:
+            if (not isinstance(node, tuple) or len(node) != 2
+                    or node[1] != 0 or isinstance(node[0], bool)
+                    or not isinstance(node[0], int) or node[0] < 0):
+                return
+            ids.append(node[0])
+        if not ids or max(ids) >= 4 * len(ids) + 64:
+            return
+        larr = np.full((max(ids) + 1, 3), -1, dtype=np.int64)
+        for node, (l0, l1, comp) in self._levels.items():
+            larr[node[0]] = (l0, l1, comp)
+        self._larr = larr
+        self.dense_node_cells = True
+
+    def bucket_mat(self, node_ids: np.ndarray, cell: float
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`bucket` over an int array of node ids.
+
+        Returns the two cell-coordinate columns for ``(id, 0)``
+        positions; exact elementwise match with the scalar
+        :meth:`bucket`. Only available when ``dense_node_cells``.
+        """
+        nodes = np.asarray(node_ids)
+        n_rows = len(self._larr)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= n_rows):
+            bad = nodes[(nodes < 0) | (nodes >= n_rows)][0]
+            raise ConfigError(f"unknown node {(int(bad), 0)!r}")
+        la = self._larr[nodes]
+        comp = la[:, 2]
+        if comp.min() < 0:
+            bad = nodes[comp < 0][0]
+            raise ConfigError(f"unknown node {(int(bad), 0)!r}")
+        span = self._span(cell)
+        b0 = comp * span + np.floor_divide(la[:, 0], cell).astype(np.int64)
+        b1 = np.floor_divide(la[:, 1], cell).astype(np.int64)
+        return b0, b1
+
     def _level_of(self, pos: Hashable) -> tuple[int, int, int]:
         try:
             return self._levels[pos]
@@ -229,13 +299,25 @@ class GraphSpace:
     # -- metric -------------------------------------------------------------
 
     def _distances_from(self, source: Hashable) -> dict[Hashable, int]:
-        cached = self._cache.get(source)
+        # Scan loops query many targets from one source back-to-back:
+        # the one-slot memo skips the LRU bookkeeping entirely there.
+        if source == self._last_src:
+            return self._last_field
+        cache = self._cache
+        cached = cache.get(source)
         if cached is not None:
+            cache.move_to_end(source)
+            self._last_src = source
+            self._last_field = cached
             return cached
         if source not in self._adj:
             raise ConfigError(f"unknown node {source!r}")
         dist = self._bfs_levels(source)
-        self._cache[source] = dist
+        cache[source] = dist
+        if len(cache) > self._cache_cap:
+            cache.popitem(last=False)
+        self._last_src = source
+        self._last_field = dist
         return dist
 
     def dist(self, a, b) -> float:

@@ -45,6 +45,8 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         #: cluster id -> speculation record.
         self._spec: dict[int, dict] = {}
         self._spec_members: dict[int, int] = {}  # aid -> cluster id
+        #: Component BFS must not absorb speculating agents.
+        self._exclude_hook = self._clustering_exclude
         self.stats.extra["speculations"] = 0
         self.stats.extra["misspeculations"] = 0
         self.stats.extra["squashes"] = 0
@@ -100,11 +102,12 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self.ready.add(m)
         # The freed members rejoin the ready pool: any memoized
         # component within coupling range may now have to absorb them.
-        self._clusters.invalidate(members)
+        graph = self.graph
+        graph.invalidate_components(members)
         threshold = self.rules.couple_threshold
         for m in members:
-            self._clusters.invalidate(
-                self.graph.index.query(self.graph.pos[m], threshold))
+            graph.invalidate_components(
+                graph.index.query(graph.pos[m], threshold))
         self.stats.extra["squashes"] += 1
         return members
 
@@ -130,7 +133,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
     def _start_speculation(self, cluster: list[int]) -> None:
         # Members leave the ready pool; their memoized component (if
         # any) no longer reflects reality.
-        self._clusters.invalidate(cluster)
+        self.graph.invalidate_components(cluster)
         step = self.graph.step[cluster[0]]
         cid = self._cluster_seq = self._cluster_seq + 1
         self._spec[cid] = {
@@ -144,11 +147,25 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self.ready.discard(m)
         self.stats.extra["speculations"] += 1
         priority = self._SPEC_PRIORITY_OFFSET + step
+        self._launch_spec_chains(cid, cluster, step, priority)
+
+    def _launch_spec_chains(self, cid: int, cluster: list[int], step: int,
+                            priority: float) -> None:
+        """One dispatch event launches the whole cluster's chains."""
+        self._kernel_events += 1
+        self.kernel.call_in(
+            self.config.overhead.controller_dispatch,
+            self._run_spec_chains, cid, cluster, step, priority)
+
+    def _run_spec_chains(self, cid: int, cluster: list[int], step: int,
+                         priority: float) -> None:
+        run_task = self.executor.run_task
+
+        def done(a: int, s: int) -> None:
+            self._spec_chain_done(cid, a, s)
+
         for aid in cluster:
-            self.kernel.call_in(
-                self.config.overhead.controller_dispatch,
-                self.executor.run_task, aid, step, priority,
-                lambda a, s, cid=cid: self._spec_chain_done(cid, a, s))
+            run_task(aid, step, priority, done)
 
     # ------------------------------------------------------------------
     # race detection (replay-mode oracle lookahead)
@@ -179,14 +196,15 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self._try_retire(cid)
 
     def _try_retire(self, cid: int) -> None:
-        if self._flush_scheduled:
-            # A coalesced controller round is pending: unretired cluster
-            # commits sit in the batch buffer (the dependency graph does
-            # not reflect them yet), and the round may squash this
-            # speculation against agents that just became ready. Retiring
-            # first would both read stale blocker state and dispatch
-            # members the round must still be able to absorb — the
-            # post-flush sweep retries.
+        now = self.kernel.now
+        if any(due <= now for due in self._round_pending):
+            # This instant's controller round has not run yet: its
+            # cluster commits sit in the round buffer (the dependency
+            # graph does not reflect them), and the round may squash
+            # this speculation against agents that just became ready.
+            # Retiring first would both read stale blocker state and
+            # dispatch members the round must still be able to absorb —
+            # the post-round sweep retries.
             return
         spec = self._spec.get(cid)
         if spec is None or spec["chains_left"] > 0:
@@ -199,12 +217,8 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             self.stats.extra["misspeculations"] += 1
             spec["will_fail"] = False
             spec["chains_left"] = len(members)
-            priority = float(spec["step"])
-            for aid in members:
-                self.kernel.call_in(
-                    self.config.overhead.controller_dispatch,
-                    self.executor.run_task, aid, spec["step"], priority,
-                    lambda a, s, cid=cid: self._spec_chain_done(cid, a, s))
+            self._launch_spec_chains(cid, members, spec["step"],
+                                     float(spec["step"]))
             return
         # Retire in order: hand the cluster to the normal commit path.
         self._spec.pop(cid)
@@ -215,14 +229,9 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         self.graph.mark_running(members)
         self.stats.clusters_dispatched += 1
         self.stats.cluster_size_sum += len(members)
-        new_cid = self._cluster_seq = self._cluster_seq + 1
         self._running_clusters += 1
         self._busy_workers += 1
-        self._cluster_remaining[new_cid] = 0
-        self._cluster_members[new_cid] = members
-        self._cluster_step[new_cid] = spec["step"]
-        self.kernel.call_in(self.config.overhead.cluster_commit,
-                            self._commit_cluster, new_cid)
+        self._queue_commit(spec["step"], members)
 
     # ------------------------------------------------------------------
     # plumbing

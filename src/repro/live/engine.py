@@ -14,7 +14,10 @@ Faithful to the paper's architecture at thread granularity:
   through one vectorized graph commit (the ack payload already carries
   the positions, so the controller never re-derives
   ``program.position()``), and dispatches whatever became ready,
-  exactly like the virtual-time driver.
+  exactly like the virtual-time driver. Coupling components are
+  memoized inside the dependency graph itself (``component_for``),
+  invalidated by its own ``mark_running``/``commit`` transitions — the
+  engine runs no cache-invalidation protocol.
 
 ``policy="parallel-sync"`` degrades the controller to one global cluster
 per step (Algorithm 1), which is both a baseline and the reference for
@@ -30,7 +33,6 @@ import time
 from dataclasses import dataclass, field
 
 from ..config import SchedulerConfig
-from ..core.clustering import ClusterCache
 from ..core.dependency_graph import SpatioTemporalGraph
 from ..core.rules import rules_for
 from ..errors import SchedulingError
@@ -226,10 +228,9 @@ class LiveSimulation:
                  graph: SpatioTemporalGraph) -> None:
         ready = set(range(n))
         done: set[int] = set()
-        cache = ClusterCache()
         in_flight = 0
         in_flight += self._dispatch_round(graph, ready, set(ready),
-                                          target_step, cache)
+                                          target_step)
         while len(done) < n:
             if in_flight == 0:
                 raise SchedulingError(
@@ -257,7 +258,6 @@ class LiveSimulation:
             spread = graph.max_step - graph.min_step
             if spread > self._stats.max_step_spread:
                 self._stats.max_step_spread = spread
-            cache.invalidate(result.neighbors)
             for aid in members_all:
                 if graph.step[aid] >= target_step:
                     done.add(aid)
@@ -271,19 +271,18 @@ class LiveSimulation:
                 if aid in ready:
                     dirty.add(aid)
             self._stats.time_graph += time.perf_counter() - t0
-            in_flight += self._dispatch_round(
-                graph, ready, dirty, target_step, cache,
-                result.member_neighbors)
+            in_flight += self._dispatch_round(graph, ready, dirty,
+                                              target_step)
 
     def _dispatch_round(self, graph: SpatioTemporalGraph, ready: set[int],
-                        dirty: set[int], target_step: int,
-                        cache: ClusterCache,
-                        fresh: dict[int, list[int]] | None = None) -> int:
+                        dirty: set[int], target_step: int) -> int:
         """Cluster the dirty frontier; dispatch unblocked clusters.
 
-        ``fresh`` carries the just-committed batch's per-member coupling
-        candidates (exact until the next commit), so the BFS seeds from
-        them instead of re-querying the index.
+        Components come memoized from the graph (``component_for``);
+        its BFS seeds from the just-committed batch's per-member
+        coupling candidates instead of re-querying the index, and
+        dispatching (``mark_running``) invalidates from inside the
+        graph — no cache protocol here.
         """
         t0 = time.perf_counter()
         dispatched = 0
@@ -293,22 +292,13 @@ class LiveSimulation:
             if seed in visited or seed not in ready:
                 continue
             step = graph.step[seed]
-            cluster = cache.get(seed)
-            if cluster is None:
-                cluster = self._collect(graph, seed, step, visited, fresh)
-                if len(cluster) > 1:
-                    # Singletons cost one query to rebuild; memoizing
-                    # them costs more than it saves (see MetropolisDriver).
-                    cache.store(cluster)
-            else:
-                visited.update(cluster)
+            cluster = graph.component_for(seed, visited)
             if not any(graph.blocked_by[m] for m in cluster):
                 s0 = time.perf_counter()
-                cache.invalidate(cluster)
                 for m in cluster:
                     ready.discard(m)
                 graph.mark_running(cluster)
-                self._submit(step, sorted(cluster))
+                self._submit(step, cluster)
                 dispatched += 1
                 submit_time += time.perf_counter() - s0
         self._stats.time_dispatch += submit_time
@@ -316,24 +306,3 @@ class LiveSimulation:
             time.perf_counter() - t0 - submit_time
         self._stats.controller_rounds += 1
         return dispatched
-
-    def _collect(self, graph: SpatioTemporalGraph, seed: int, step: int,
-                 visited: set[int],
-                 fresh: dict[int, list[int]] | None = None) -> list[int]:
-        stack, members = [seed], []
-        visited.add(seed)
-        qbuf: list[int] = []
-        while stack:
-            aid = stack.pop()
-            members.append(aid)
-            candidates = fresh.get(aid) if fresh is not None else None
-            if candidates is None:
-                candidates = graph.index.query_into(
-                    graph.pos[aid], self.rules.couple_threshold, qbuf)
-            for other in candidates:
-                if (other != aid and other not in visited
-                        and graph.step[other] == step
-                        and not graph.running[other]):
-                    visited.add(other)
-                    stack.append(other)
-        return members

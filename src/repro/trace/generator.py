@@ -45,9 +45,11 @@ def generate_trace(n_agents: int | None = None,
     model = scn.model(n_agents, seed)
     world = model.world
 
-    positions = np.zeros((n_agents, n_steps + 1, 2), dtype=np.int16)
+    # Step-major from the start: generation appends one population row
+    # per step, which is exactly the canonical trace layout.
+    positions = np.zeros((n_steps + 1, n_agents, 2), dtype=np.int16)
     for agent in model.agents:
-        positions[agent.agent_id, 0] = agent.pos
+        positions[0, agent.agent_id] = agent.pos
     steps: list[int] = []
     agents: list[int] = []
     funcs: list[int] = []
@@ -62,7 +64,7 @@ def generate_trace(n_agents: int | None = None,
                 funcs.append(FUNC_INDEX[call.func])
                 ins.append(call.input_tokens)
                 outs.append(call.output_tokens)
-            positions[aid, step + 1] = model.agents[aid].pos
+            positions[step + 1, aid] = model.agents[aid].pos
 
     dep = scn.dependency_config or DependencyConfig()
     meta = TraceMeta(
@@ -73,7 +75,7 @@ def generate_trace(n_agents: int | None = None,
         meta, positions,
         np.asarray(steps, dtype=np.int32), np.asarray(agents, dtype=np.int32),
         np.asarray(funcs, dtype=np.int16), np.asarray(ins, dtype=np.int32),
-        np.asarray(outs, dtype=np.int32))
+        np.asarray(outs, dtype=np.int32), step_major=True)
 
 
 def _cache_dir() -> Path | None:

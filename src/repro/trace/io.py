@@ -25,7 +25,7 @@ def save_trace(trace: Trace, path: str | Path) -> None:
     np.savez_compressed(
         path,
         meta=json.dumps(asdict(trace.meta)),
-        positions=trace.positions,
+        positions_sa=trace.positions_by_step,
         call_step=trace.call_step,
         call_agent=trace.call_agent,
         call_func=trace.call_func,
@@ -41,10 +41,16 @@ def load_trace(path: str | Path) -> Trace:
         raise TraceError(f"no trace at {path}")
     with np.load(path, allow_pickle=False) as data:
         meta = TraceMeta(**json.loads(str(data["meta"])))
+        # Step-major is the canonical on-disk layout; files written
+        # before the numpy position store carried agent-major arrays.
+        if "positions_sa" in data.files:
+            positions, step_major = data["positions_sa"], True
+        else:
+            positions, step_major = data["positions"], False
         trace = Trace(
-            meta, data["positions"],
+            meta, positions,
             data["call_step"], data["call_agent"], data["call_func"],
-            data["call_in"], data["call_out"])
+            data["call_in"], data["call_out"], step_major=step_major)
     # Graph traces: the coordinate speed check does not apply, so the
     # untrusted boundary re-checks movement in hop distance.
     trace.validate_movement()

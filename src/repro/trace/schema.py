@@ -2,9 +2,15 @@
 
 Positions and LLM calls are stored as dense numpy arrays so that thousand-
 agent traces stay compact and slicing an hour window (the paper's busy/
-quiet-hour benchmarks) is a cheap array operation. A CSR-style index maps
-``(agent, step)`` to that agent's ordered call chain for the step, which
-is what the scheduler drivers consume.
+quiet-hour benchmarks) is a cheap array operation. Positions are held
+**step-major** — one ``(n_steps + 1, n_agents, 2)`` int array — so the
+replay drivers gather a commit batch's rows in one fancy index, a step's
+population slice is contiguous (bulk spatial-index loads, the oracle's
+per-step clustering), and graph-metric traces expose their node-id
+column without re-tupling; the agent-major orientation remains available
+as a transposed view. A CSR-style index maps ``(agent, step)`` to that
+agent's ordered call chain for the step, which is what the scheduler
+drivers consume.
 """
 
 from __future__ import annotations
@@ -47,10 +53,13 @@ class Trace:
 
     Attributes
     ----------
-    positions:
-        ``int16[n_agents, n_steps + 1, 2]`` — tile at the *start* of each
-        step; ``positions[a, s+1]`` is where agent ``a`` ended step ``s``.
-        Per-step displacement never exceeds ``meta.max_vel``.
+    positions_by_step:
+        ``int[n_steps + 1, n_agents, 2]`` — the canonical step-major
+        store: tile at the *start* of each step;
+        ``positions_by_step[s + 1, a]`` is where agent ``a`` ended step
+        ``s``. Per-step displacement never exceeds ``meta.max_vel``.
+        ``positions`` is the agent-major transposed view of the same
+        array (``int[n_agents, n_steps + 1, 2]``).
     call_step / call_agent / call_func / call_in / call_out:
         Parallel arrays of the call events, sorted by ``(agent, step)``
         with chain order preserved. ``call_func`` indexes
@@ -60,13 +69,22 @@ class Trace:
     def __init__(self, meta: TraceMeta, positions: np.ndarray,
                  call_step: np.ndarray, call_agent: np.ndarray,
                  call_func: np.ndarray, call_in: np.ndarray,
-                 call_out: np.ndarray) -> None:
+                 call_out: np.ndarray, step_major: bool = False) -> None:
         self.meta = meta
-        self.positions = positions
-        if positions.shape != (meta.n_agents, meta.n_steps + 1, 2):
-            raise TraceError(
-                f"positions shape {positions.shape} != "
-                f"{(meta.n_agents, meta.n_steps + 1, 2)}")
+        positions = np.asarray(positions)
+        if step_major:
+            if positions.shape != (meta.n_steps + 1, meta.n_agents, 2):
+                raise TraceError(
+                    f"step-major positions shape {positions.shape} != "
+                    f"{(meta.n_steps + 1, meta.n_agents, 2)}")
+            self._pos_sa = np.ascontiguousarray(positions)
+        else:
+            if positions.shape != (meta.n_agents, meta.n_steps + 1, 2):
+                raise TraceError(
+                    f"positions shape {positions.shape} != "
+                    f"{(meta.n_agents, meta.n_steps + 1, 2)}")
+            self._pos_sa = np.ascontiguousarray(
+                positions.transpose(1, 0, 2))
         n = len(call_step)
         for name, arr in (("call_agent", call_agent),
                           ("call_func", call_func), ("call_in", call_in),
@@ -105,9 +123,9 @@ class Trace:
         # the scenario test suite.
         if meta.metric == "graph":
             return
-        deltas = np.diff(self.positions.astype(np.int32), axis=1)
+        deltas = np.diff(self._pos_sa.astype(np.int32), axis=0)
         speed = np.abs(deltas).sum(axis=2)  # Manhattan per step
-        if len(speed) and speed.max() > meta.max_vel:
+        if speed.size and speed.max() > meta.max_vel:
             raise TraceError(
                 f"an agent moved {speed.max()} tiles in one step "
                 f"(max_vel={meta.max_vel})")
@@ -149,6 +167,28 @@ class Trace:
     # -- accessors ----------------------------------------------------------
 
     @property
+    def positions(self) -> np.ndarray:
+        """Agent-major ``int[n_agents, n_steps + 1, 2]`` view."""
+        return self._pos_sa.transpose(1, 0, 2)
+
+    @property
+    def positions_by_step(self) -> np.ndarray:
+        """The canonical step-major ``int[n_steps + 1, n_agents, 2]``."""
+        return self._pos_sa
+
+    def step_positions(self, step: int) -> np.ndarray:
+        """Contiguous ``int[n_agents, 2]`` slice at the start of ``step``."""
+        return self._pos_sa[step]
+
+    def node_ids(self, step: int) -> np.ndarray:
+        """Graph-metric node-id column at ``step`` (``int[n_agents]``).
+
+        Graph traces store positions as ``(node_id, 0)`` pairs; this is
+        the id column without re-tupling.
+        """
+        return self._pos_sa[step, :, 0]
+
+    @property
     def n_calls(self) -> int:
         return len(self.call_step)
 
@@ -171,7 +211,7 @@ class Trace:
 
     def pos(self, agent: int, step: int) -> tuple[int, int]:
         """Tile of ``agent`` at the start of ``step``."""
-        x, y = self.positions[agent, step]
+        x, y = self._pos_sa[step, agent]
         return int(x), int(y)
 
     def func_name(self, func_id: int) -> str:
@@ -190,12 +230,13 @@ class Trace:
                           base_step=self.meta.base_step + start_step)
         return Trace(
             meta,
-            self.positions[:, start_step:end_step + 1].copy(),
+            self._pos_sa[start_step:end_step + 1].copy(),
             self.call_step[mask] - start_step,
             self.call_agent[mask],
             self.call_func[mask],
             self.call_in[mask],
             self.call_out[mask],
+            step_major=True,
         )
 
 
@@ -220,7 +261,7 @@ def concat_traces(traces: Sequence[Trace], x_stride: int) -> Trace:
     steps, agents, funcs, ins, outs = [], [], [], [], []
     agent_base = 0
     for k, t in enumerate(traces):
-        pos = t.positions.astype(np.int32).copy()
+        pos = t.positions_by_step.astype(np.int32)
         pos[:, :, 0] += k * x_stride
         positions.append(pos)
         steps.append(t.call_step)
@@ -234,6 +275,7 @@ def concat_traces(traces: Sequence[Trace], x_stride: int) -> Trace:
         width=(len(traces) - 1) * x_stride + first.width)
     return Trace(
         meta,
-        np.concatenate(positions, axis=0).astype(np.int32),
+        np.concatenate(positions, axis=1),
         np.concatenate(steps), np.concatenate(agents),
-        np.concatenate(funcs), np.concatenate(ins), np.concatenate(outs))
+        np.concatenate(funcs), np.concatenate(ins), np.concatenate(outs),
+        step_major=True)

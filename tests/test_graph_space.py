@@ -108,6 +108,40 @@ class TestGraphSpaceBasics:
                             assert space.bucket(node, cell) in cells
 
 
+class TestDistanceCacheLRU:
+    """The per-source BFS cache is bounded (ROADMAP memory item)."""
+
+    def test_cache_never_exceeds_cap(self):
+        rng = FastRng(7)
+        space = GraphSpace(small_world(rng, 64), dist_cache_size=8)
+        for source in range(64):
+            assert space.dist(source, (source + 5) % 64) >= 1.0
+        assert len(space._cache) <= 8
+
+    def test_eviction_preserves_correctness(self):
+        space = GraphSpace({0: [1], 1: [0, 2], 2: [1, 3], 3: [2]},
+                           dist_cache_size=1)
+        assert space.dist(0, 3) == 3.0
+        assert space.dist(3, 0) == 3.0  # evicts source 0
+        assert space.dist(0, 2) == 2.0  # re-BFS after eviction
+        assert len(space._cache) == 1
+
+    def test_lru_keeps_hot_sources(self):
+        rng = FastRng(11)
+        space = GraphSpace(small_world(rng, 32), dist_cache_size=4)
+        space.dist(0, 1)
+        for source in range(1, 4):
+            space.dist(source, 0)
+        space.dist(0, 2)          # touch source 0 again: most recent
+        space.dist(9, 0)          # evicts the least recent (source 1)
+        assert 0 in space._cache
+        assert 1 not in space._cache
+
+    def test_default_cap_applies(self):
+        space = GraphSpace({0: [1], 1: [0]})
+        assert space._cache_cap == GraphSpace.DIST_CACHE_SIZE
+
+
 class TestGraphBlocking:
     def _rules(self, adjacency, bucketing=True):
         return DependencyRules(

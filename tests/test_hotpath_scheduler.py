@@ -1,7 +1,8 @@
 """Tests for the §3.6 hot-path overhaul: the array-backed dependency
 graph against a dict-based reference model (randomized commit-order
-fuzz), the incremental cluster cache, the buffered spatial queries, and
-the hotpath benchmark harness.
+fuzz, grid and graph metrics), the graph-native coupling components,
+the single-event round loop's kernel-event budget, the buffered spatial
+queries, and the hotpath benchmark harness.
 """
 
 import json
@@ -14,7 +15,7 @@ from repro.config import DependencyConfig
 from repro.core import DependencyRules
 from repro.core.clustering import ClusterCache, SpatialIndex
 from repro.core.dependency_graph import SpatioTemporalGraph
-from repro.core.space import EuclideanSpace
+from repro.core.space import EuclideanSpace, GraphSpace
 from repro.errors import SchedulingError
 
 
@@ -58,6 +59,22 @@ class DictReferenceGraph:
         neighbors = set().union(*member_neighbors.values()) \
             if member_neighbors else set()
         return unblocked, neighbors, member_neighbors
+
+
+def _ref_component(ref, rules, aid):
+    """Fresh BFS of ``aid``'s coupling component over the dict reference."""
+    step = ref.step[aid]
+    comp = {aid}
+    frontier = [aid]
+    while frontier:
+        x = frontier.pop()
+        for other in ref.pos:
+            if (other not in comp and not ref.running[other]
+                    and ref.step[other] == step
+                    and rules.coupled(ref.pos[x], ref.pos[other])):
+                comp.add(other)
+                frontier.append(other)
+    return sorted(comp)
 
 
 def _random_cluster(graph, rules, rng, n, exclude=frozenset()):
@@ -150,6 +167,67 @@ def _assert_fastpath_invariants(graph, ref, rules, n):
                 int(graph._by[slot])) == key
 
 
+def _run_commit_fuzz(rules, positions, move_candidates, rng, n,
+                     iters=40):
+    """Shared fuzz body: random batched commits vs the dict reference.
+
+    ``move_candidates(pos)`` returns the legal next positions of an
+    agent at ``pos`` (must respect ``max_vel`` in the rules' metric).
+    """
+    graph = SpatioTemporalGraph(rules, positions)
+    ref = DictReferenceGraph(rules, positions)
+
+    for _ in range(iters):
+        # Batched commits: retire 1-3 disjoint dispatchable clusters
+        # through a single graph.commit, like the coalesced flush does.
+        batch: list[int] = []
+        for _attempt in range(rng.integers(1, 4)):
+            members = _random_cluster(graph, rules, rng, n,
+                                      exclude=set(batch))
+            if members is None:
+                continue
+            graph.mark_running(members)
+            for m in members:
+                ref.running[m] = True
+            batch += members
+        if not batch:
+            members = _random_cluster(graph, rules, rng, n)
+            assert members is not None, "graph deadlocked"
+            graph.mark_running(members)
+            for m in members:
+                ref.running[m] = True
+            batch = members
+        new_pos = {}
+        for m in batch:
+            cands = move_candidates(graph.pos[m])
+            new_pos[m] = cands[rng.integers(0, len(cands))]
+        result = graph.commit(batch, new_pos)
+        ref_unblocked, ref_neighbors, ref_member = ref.commit(batch,
+                                                              new_pos)
+
+        # 1. identical unblock candidates, split exactly as commit
+        #    reports them — per-member neighborhoods included
+        assert result.unblocked == ref_unblocked
+        assert result.neighbors == ref_neighbors
+        assert set(result.member_neighbors) == set(ref_member)
+        for m, lst in result.member_neighbors.items():
+            assert set(lst) == ref_member[m], \
+                f"member {m} neighborhood diverged"
+        for aid in ref_unblocked | ref_neighbors:
+            assert aid in result  # CommitResult membership back-compat
+        # 2. identical blocked edges / waiters / min-max step
+        _assert_graph_matches_reference(graph, ref, n)
+        # 3. the zero-rescan bounds stay conservative
+        _assert_fastpath_invariants(graph, ref, rules, n)
+        # 4. graph-native coupling components == fresh reference BFS
+        #    after every commit (memoization + in-graph invalidation)
+        for aid in range(n):
+            if not graph.running[aid]:
+                assert graph.component_for(aid, set()) == \
+                    _ref_component(ref, rules, aid), \
+                    f"agent {aid} component diverged"
+
+
 class TestGraphMatchesReferenceModel:
     """The ISSUE's fuzz gate: array-backed graph == dict reference."""
 
@@ -164,54 +242,43 @@ class TestGraphMatchesReferenceModel:
         # commits exercise step-bucket migration.
         positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
                      for i in range(n)}
-        graph = SpatioTemporalGraph(rules, positions)
-        ref = DictReferenceGraph(rules, positions)
 
-        for _ in range(40):
-            # Batched commits: retire 1-3 disjoint dispatchable
-            # clusters through a single graph.commit, like the
-            # coalesced flush does.
-            batch: list[int] = []
-            for _attempt in range(rng.integers(1, 4)):
-                members = _random_cluster(graph, rules, rng, n,
-                                          exclude=set(batch))
-                if members is None:
-                    continue
-                graph.mark_running(members)
-                for m in members:
-                    ref.running[m] = True
-                batch += members
-            if not batch:
-                members = _random_cluster(graph, rules, rng, n)
-                assert members is not None, "graph deadlocked"
-                graph.mark_running(members)
-                for m in members:
-                    ref.running[m] = True
-                batch = members
-            new_pos = {}
-            for m in batch:
-                x, y = graph.pos[m]
-                dx, dy = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)][
-                    rng.integers(0, 5)]
-                new_pos[m] = (x + dx, y + dy)
-            result = graph.commit(batch, new_pos)
-            ref_unblocked, ref_neighbors, ref_member = ref.commit(batch,
-                                                                  new_pos)
+        def moves(pos):
+            x, y = pos
+            return [(x, y), (x + 1, y), (x - 1, y), (x, y + 1),
+                    (x, y - 1)]
 
-            # 1. identical unblock candidates, split exactly as commit
-            #    reports them — per-member neighborhoods included
-            assert result.unblocked == ref_unblocked
-            assert result.neighbors == ref_neighbors
-            assert set(result.member_neighbors) == set(ref_member)
-            for m, lst in result.member_neighbors.items():
-                assert set(lst) == ref_member[m], \
-                    f"member {m} neighborhood diverged"
-            for aid in ref_unblocked | ref_neighbors:
-                assert aid in result  # CommitResult membership back-compat
-            # 2. identical blocked edges / waiters / min-max step
-            _assert_graph_matches_reference(graph, ref, n)
-            # 3. the zero-rescan bounds stay conservative
-            _assert_fastpath_invariants(graph, ref, rules, n)
+        _run_commit_fuzz(rules, positions, moves, rng, n)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(2, 10),
+           v=st.integers(6, 24))
+    def test_randomized_commit_order_graph_metric(self, seed, n, v):
+        """Same gate on hop-distance worlds: the landmark-bucketed fast
+        path, the vectorized bucket_mat bookkeeping, and graph-native
+        components must all match the dict reference exactly."""
+        rng = FastRng(seed)
+        nodes = [(i, 0) for i in range(v)]
+        adj = {node: set() for node in nodes}
+        for i in range(1, v):  # random tree keeps it connected
+            j = rng.integers(0, i)
+            adj[nodes[i]].add(nodes[j])
+            adj[nodes[j]].add(nodes[i])
+        for _ in range(v // 2):  # extra chords make cycles
+            a, b = rng.integers(0, v), rng.integers(0, v)
+            if a != b:
+                adj[nodes[a]].add(nodes[b])
+                adj[nodes[b]].add(nodes[a])
+        space = GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()})
+        rules = DependencyRules(
+            DependencyConfig(radius_p=1.0, max_vel=1.0, metric="graph"),
+            space=space)
+        positions = {i: nodes[rng.integers(0, v)] for i in range(n)}
+
+        def moves(pos):
+            return [pos, *adj[pos]]  # stay or one hop (max_vel=1)
+
+        _run_commit_fuzz(rules, positions, moves, rng, n, iters=30)
 
     def test_distant_laggard_pruned_until_it_blocks(self):
         """Wide step spread: the coarse min-step prune must never hide a
@@ -240,20 +307,84 @@ class TestGraphMatchesReferenceModel:
             SpatioTemporalGraph(rules, {0: (0, 0), 2: (5, 0)})
 
 
-class TestClusterCache:
+class TestGraphNativeComponents:
+    """Coupling components memoized inside the graph (PR 5 fold)."""
+
+    def _graph(self):
+        rules = DependencyRules(DependencyConfig())
+        positions = {0: (0, 0), 1: (2, 0), 2: (50, 0), 3: (52, 0),
+                     4: (200, 0)}
+        return rules, SpatioTemporalGraph(rules, positions)
+
+    def test_component_memoized_between_rounds(self):
+        _, graph = self._graph()
+        assert graph.component_for(0, set()) == [0, 1]
+        assert graph.comp_misses == 1
+        assert graph.component_for(1, set()) == [0, 1]
+        assert graph.comp_hits == 1  # second seed reuses the memo
+
+    def test_singletons_not_memoized(self):
+        _, graph = self._graph()
+        assert graph.component_for(4, set()) == [4]
+        assert graph.component_for(4, set()) == [4]
+        assert graph.comp_hits == 0 and graph.comp_misses == 2
+
+    def test_mark_running_invalidates(self):
+        _, graph = self._graph()
+        graph.component_for(0, set())
+        graph.mark_running([0, 1])
+        graph.commit([0, 1], {0: (0, 0), 1: (2, 0)})
+        # both moved a step: the memo is gone and the BFS re-runs
+        assert graph.component_for(0, set()) == [0, 1]
+        assert graph.comp_misses == 2
+
+    def test_commit_invalidates_neighbors(self):
+        _, graph = self._graph()
+        assert graph.component_for(2, set()) == [2, 3]
+        graph.mark_running([4])
+        # 4 lands within coupling range of 3: the cached {2, 3}
+        # component must merge with it on the next round.
+        graph.commit([4], {4: (53, 0)})
+        visited: set[int] = set()
+        assert graph.component_for(2, visited) == [2, 3]
+        # (4 is one step ahead now, so it joins once 2/3 catch up —
+        # what matters here is that the stale memo was dropped)
+        assert graph.comp_misses == 2
+
+    def test_visited_updated_on_hit(self):
+        _, graph = self._graph()
+        graph.component_for(0, set())
+        visited: set[int] = set()
+        graph.component_for(0, visited)
+        assert visited == {0, 1}
+
+    def test_exclude_hook_skips_agents(self):
+        _, graph = self._graph()
+        got = graph.build_component(0, set(), lambda aid: aid == 1)
+        assert got == [0]
+
+
+class TestClusterCacheShim:
+    """The deprecated standalone cache: warns, still delegates."""
+
+    def _cache(self):
+        with pytest.warns(DeprecationWarning, match="graph-native|"
+                          "SpatioTemporalGraph"):
+            return ClusterCache()
+
     def test_store_get_roundtrip(self):
-        cache = ClusterCache()
+        cache = self._cache()
         cache.store([1, 2, 3])
         assert cache.get(2) == [1, 2, 3]
         assert cache.hits == 1
 
     def test_miss_counts(self):
-        cache = ClusterCache()
+        cache = self._cache()
         assert cache.get(7) is None
         assert cache.misses == 1
 
     def test_invalidate_drops_whole_component(self):
-        cache = ClusterCache()
+        cache = self._cache()
         cache.store([1, 2, 3])
         cache.store([4, 5])
         cache.invalidate([2])
@@ -262,14 +393,14 @@ class TestClusterCache:
         assert len(cache) == 1
 
     def test_store_evicts_stale_overlap(self):
-        cache = ClusterCache()
+        cache = self._cache()
         cache.store([1, 2])
         cache.store([2, 3])
         assert cache.get(1) is None
         assert cache.get(3) == [2, 3]
 
     def test_clear(self):
-        cache = ClusterCache()
+        cache = self._cache()
         cache.store([1])
         cache.clear()
         assert cache.get(1) is None
@@ -436,3 +567,45 @@ class TestHotpathBench:
         assert stats.controller_rounds <= stats.clusters_dispatched + 1
         assert stats.extra["cluster_cache_hits"] >= 0
         assert stats.extra["cluster_cache_misses"] > 0
+
+    @pytest.mark.parametrize("policy", ["metropolis", "metropolis-spec"])
+    def test_kernel_events_per_cluster_amortized_o1(self, synthetic_trace,
+                                                    policy):
+        """Single-event rounds: the driver schedules strictly fewer
+        kernel events than the old dispatch + commit pair per cluster,
+        even on a tiny trace with almost no ack coalescing (the hotpath
+        CI gate pins the coalesced matrix at <= 1.0)."""
+        from repro.config import SchedulerConfig
+        from repro.core import run_replay
+
+        result = run_replay(synthetic_trace, SchedulerConfig(policy=policy))
+        stats = result.driver_stats
+        events = stats.extra["kernel_events"]
+        assert events > 0
+        assert events / stats.clusters_dispatched < 2.0
+        # one launch event per dispatching round + one round event per
+        # finish instant bounds the total
+        assert events <= 2 * stats.controller_rounds + 1
+
+    def test_report_entry_carries_churn_counters(self, tmp_path):
+        from repro.bench.hotpath import check_report, run_hotpath
+
+        base = tmp_path / "base.json"
+        run_hotpath(scenarios=["smallville"], agent_counts=(5,), out=base)
+        report = run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                             baseline=base, out=tmp_path / "hp.json")
+        entry = report["entries"][0]
+        assert entry["fallback_scans"] == 0
+        assert entry["kernel_events"] > 0
+        assert entry["kernel_events_per_cluster"] < 2.0
+        # the churn gates: pass at the recorded values, fail when a
+        # regression pushes either counter over its cap
+        assert check_report(report, min_throughput=1.0, min_speedup=0.0,
+                            max_kernel_events_per_cluster=2.0,
+                            max_fallback_scans=0) == []
+        failures = check_report(report, min_throughput=1.0,
+                                min_speedup=0.0,
+                                max_kernel_events_per_cluster=1e-9,
+                                max_fallback_scans=-1)
+        assert any("kernel events per cluster" in f for f in failures)
+        assert any("fallback scans" in f for f in failures)

@@ -139,6 +139,37 @@ class TestTraceIO:
         with pytest.raises(TraceError):
             load_trace(tmp_path / "nope.npz")
 
+    def test_npz_step_major_store_roundtrips(self, synthetic_trace,
+                                             tmp_path):
+        """The on-disk layout is the canonical step-major array."""
+        path = tmp_path / "t.npz"
+        save_trace(synthetic_trace, path)
+        with np.load(path, allow_pickle=False) as data:
+            assert "positions_sa" in data.files
+            assert data["positions_sa"].shape == \
+                synthetic_trace.positions_by_step.shape
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.positions_by_step,
+                              synthetic_trace.positions_by_step)
+
+    def test_load_legacy_agent_major_npz(self, synthetic_trace, tmp_path):
+        """Caches written before the step-major store still load."""
+        import json as _json
+        from dataclasses import asdict
+
+        path = tmp_path / "legacy.npz"
+        t = synthetic_trace
+        np.savez_compressed(
+            path,
+            meta=_json.dumps(asdict(t.meta)),
+            positions=np.ascontiguousarray(t.positions),
+            call_step=t.call_step, call_agent=t.call_agent,
+            call_func=t.call_func, call_in=t.call_in,
+            call_out=t.call_out)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.positions_by_step,
+                              t.positions_by_step)
+
     def test_jsonl_roundtrip(self, synthetic_trace, tmp_path):
         path = tmp_path / "t.jsonl"
         export_jsonl(synthetic_trace, path)
