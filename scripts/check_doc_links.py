@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in the repo's markdown docs.
+"""Fail on dead relative links or broken anchors in the markdown docs.
 
 Scans README.md, ROADMAP.md, CHANGES.md and everything under docs/ for
 markdown links/images whose target is a relative path, and verifies the
-target exists (anchors and external URLs are ignored). CI runs this as
-the docs gate; ``tests/test_docs.py`` runs it in the tier-1 suite.
+target exists. Links carrying a ``#fragment`` (same-file ``#anchor`` or
+``other.md#anchor``) are additionally checked against the target file's
+headings using GitHub's slugification, so a renamed section breaks CI
+instead of readers. External URLs are ignored. CI runs this as the docs
+gate; ``tests/test_docs.py`` runs it in the tier-1 suite.
 
 Usage: python scripts/check_doc_links.py [repo_root]
 """
@@ -17,7 +20,13 @@ from pathlib import Path
 
 #: Markdown inline link/image: [text](target) — target captured.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-_EXTERNAL = ("http://", "https://", "mailto:", "#")
+_EXTERNAL = ("http://", "https://", "mailto:")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+#: Inline markup stripped from heading text before slugification.
+_MARKUP = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+#: Characters GitHub drops when building a heading slug (everything
+#: that is not a word character, space, or hyphen; unicode kept).
+_SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
 
 
 def doc_files(root: Path) -> list[Path]:
@@ -26,9 +35,40 @@ def doc_files(root: Path) -> list[Path]:
     return [f for f in files if f.exists()]
 
 
+def heading_slug(text: str) -> str:
+    """GitHub's anchor for a heading: lowercase, punctuation dropped,
+    spaces to hyphens (existing hyphens kept)."""
+    text = _MARKUP.sub(r"\1", text).strip()
+    return _SLUG_DROP.sub("", text.lower()).replace(" ", "-")
+
+
+def anchors_of(doc: Path) -> set[str]:
+    """Every heading anchor a markdown file exposes (duplicates get
+    ``-1``/``-2``... suffixes, like GitHub renders them)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = heading_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
 def dead_links(root: Path) -> list[str]:
-    """``file:line: target`` for every relative link with no file."""
+    """``file:line: target`` for every relative link with no file, plus
+    every ``#anchor`` fragment naming no heading in its target."""
     failures: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
     for doc in doc_files(root):
         for lineno, line in enumerate(
                 doc.read_text(encoding="utf-8").splitlines(), start=1):
@@ -36,14 +76,23 @@ def dead_links(root: Path) -> list[str]:
                 target = match.group(1)
                 if target.startswith(_EXTERNAL):
                     continue
-                path = target.split("#", 1)[0]
-                if not path:
-                    continue
-                resolved = (doc.parent / path).resolve()
+                path, _, fragment = target.partition("#")
+                resolved = (doc.parent / path).resolve() if path else doc
                 if not resolved.exists():
                     failures.append(
                         f"{doc.relative_to(root)}:{lineno}: "
                         f"dead link -> {target}")
+                    continue
+                if not fragment or resolved.suffix.lower() != ".md":
+                    continue
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    failures.append(
+                        f"{doc.relative_to(root)}:{lineno}: "
+                        f"broken anchor -> {target} "
+                        f"(no such heading in "
+                        f"{resolved.relative_to(root)})")
     return failures
 
 

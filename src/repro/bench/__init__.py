@@ -13,6 +13,8 @@ from .hotpath import (bench_one, check_report, format_report, gate_hotpath,
                       hotpath_trace, run_hotpath)
 from .runner import PolicyOutcome, bounds_for, hour_window, run_policies
 from .report import format_table, format_ratio
+from .serving import (bench_cell, check_serving_report, format_profiles,
+                      format_serving_report, gate_serving, run_serving)
 from .smoke import run_smoke, scenario_window_trace, smoke_one
 
 __all__ = [
@@ -34,4 +36,10 @@ __all__ = [
     "check_report",
     "gate_hotpath",
     "format_report",
+    "run_serving",
+    "bench_cell",
+    "check_serving_report",
+    "gate_serving",
+    "format_serving_report",
+    "format_profiles",
 ]

@@ -9,6 +9,8 @@ Examples::
     repro-bench run all --out results/
     repro-bench smoke --out smoke-report.json
     repro-bench hotpath --out BENCH_hotpath.json --check
+    repro-bench serving --list-profiles
+    repro-bench serving --out BENCH_serving.json --check
 """
 
 from __future__ import annotations
@@ -25,7 +27,12 @@ from .experiments import EXPERIMENTS, run_experiment
 from .hotpath import (AGENT_COUNTS, BASELINE_PATH,
                       MAX_FALLBACK_SCANS, MAX_KERNEL_EVENTS_PER_CLUSTER,
                       MIN_SPEEDUP, MIN_THROUGHPUT, TRAJECTORY,
-                      check_report, format_report, run_hotpath)
+                      check_report, format_report, load_baseline,
+                      run_hotpath)
+from .serving import (BASELINE_PATH as SERVING_BASELINE_PATH, CELLS,
+                      MIN_TOKENS_RATIO, MIN_WALL_RATIO,
+                      check_serving_report, format_profiles,
+                      format_serving_report, run_serving)
 from .smoke import run_smoke
 
 
@@ -114,6 +121,33 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="N[,N...]",
                      help="matrix cells --check must find per scenario "
                           "(default: the benchmarked agent list)")
+    srv = sub.add_parser(
+        "serving", help="end-to-end serving matrix: tokens/s + KV "
+                        "counters per scenario on its declared "
+                        "deployment profile")
+    srv.add_argument("--scenario", action="append", default=None,
+                     choices=scenario_names(), dest="scenarios",
+                     help="limit to a scenario (repeatable)")
+    srv.add_argument("--out", type=Path, default=Path("BENCH_serving.json"),
+                     help="write the JSON report here")
+    srv.add_argument("--baseline", type=Path, default=SERVING_BASELINE_PATH,
+                     help="committed baseline report to compare against")
+    srv.add_argument("--check", action="store_true",
+                     help="exit 1 if any cell is missing, lacks a "
+                          "baseline entry, regresses on end-to-end "
+                          "tokens/s, falls through the wall-clock "
+                          "floor, or invocation-distance eviction "
+                          "beats LRU nowhere")
+    srv.add_argument("--min-ratio", type=float, default=MIN_TOKENS_RATIO,
+                     help="required tokens/s ratio vs. baseline "
+                          "for --check")
+    srv.add_argument("--min-wall-ratio", type=float,
+                     default=MIN_WALL_RATIO,
+                     help="calibration-normalized wall-clock floor "
+                          "for --check")
+    srv.add_argument("--list-profiles", action="store_true",
+                     help="print each scenario's serving profile and "
+                          "exit (no benchmarking)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -144,7 +178,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "hotpath":
-        from .hotpath import load_baseline
         if args.check and load_baseline(args.baseline) is None:
             # A missing baseline must not silently degrade the gate to
             # floor-only: that is how a regression lands green.
@@ -174,6 +207,32 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"FAIL: {failure}", file=sys.stderr)
                 return 1
             print("hotpath gate: ok")
+        return 0
+
+    if args.command == "serving":
+        if args.list_profiles:
+            print(format_profiles())
+            return 0
+        if args.check and load_baseline(args.baseline) is None:
+            # Same rule as the hotpath gate: a missing baseline must
+            # fail loudly, not silently skip the regression comparison.
+            print(f"FAIL: baseline {args.baseline} not found "
+                  f"(required for --check)", file=sys.stderr)
+            return 1
+        report = run_serving(scenarios=args.scenarios,
+                             baseline=args.baseline, out=args.out)
+        print(format_serving_report(report))
+        if args.out is not None:
+            print(f"[report written to {args.out}]")
+        if args.check:
+            failures = check_serving_report(
+                report, args.min_ratio, args.min_wall_ratio,
+                required_cells=CELLS)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("serving gate: ok")
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

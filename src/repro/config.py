@@ -151,8 +151,19 @@ class ServingConfig:
     #: preambles). Only prefill compute is discounted; KV reservations
     #: stay conservative.
     prefix_cache_hit_rate: float = 0.0
+    #: Idle-KV retention policy between an agent's calls. ``none``
+    #: frees KV at finish (seed behaviour); ``lru`` keeps per-agent
+    #: segments and evicts the longest-idle; ``distance`` evicts the
+    #: agent whose next LLM call is furthest in virtual time, using the
+    #: scheduler's invocation-distance signal (ScaleSim-style, driven
+    #: by the dependency graph's wake steps).
+    kv_policy: Literal["none", "lru", "distance"] = "none"
 
     def __post_init__(self) -> None:
+        if self.kv_policy not in ("none", "lru", "distance"):
+            raise ConfigError(
+                f"kv_policy must be none|lru|distance, got "
+                f"{self.kv_policy!r}")
         if self.dp < 1:
             raise ConfigError(f"dp must be >= 1, got {self.dp}")
         if self.tp < 1:

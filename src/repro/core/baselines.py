@@ -121,9 +121,11 @@ class ParallelSyncDriver:
         self._outstanding = n
         self.stats.clusters_dispatched += 1
         self.stats.cluster_size_sum += n
-        for aid in range(n):
-            self.executor.run_task(aid, self._step, float(self._step),
-                                   self._task_done)
+        # The lock-step barrier is one whole-population cluster: a
+        # single round event, one vectorized chain lookup, one batched
+        # engine handoff.
+        self.executor.run_cluster(range(n), self._step, float(self._step),
+                                  self._task_done)
 
     def _task_done(self, aid: int, step: int) -> None:
         if step != self._step:

@@ -440,6 +440,33 @@ class SpatioTemporalGraph:
     def is_blocked(self, aid: int) -> bool:
         return bool(self.blocked_by[aid])
 
+    def invocation_distance(self, aid: int) -> float:
+        """Predicted virtual steps until ``aid``'s next LLM dispatch.
+
+        The serving layer's KV eviction key (ScaleSim's *invocation
+        distance*, §PAPERS): 0 for agents running or dispatchable now;
+        for blocked agents, a lower bound on how many steps the slowest
+        blocker must commit before the pair can dissolve, read straight
+        off the pair wake steps the zero-rescan scheduler already
+        maintains (``_wake[b][a]`` is the last blocker step at which the
+        pair is provably still blocked). All blockers must clear, so the
+        prediction is the max over blockers. Free of geometry work —
+        O(blockers) dict lookups — hence cheap enough to consult on
+        every eviction decision.
+        """
+        blockers = self.blocked_by[aid]
+        if self.running[aid] or not blockers:
+            return 0.0
+        step = self.step
+        dist = 1
+        for bid in blockers:
+            wake = self._wake[bid].get(aid)
+            if wake is not None:
+                need = wake - step[bid] + 1
+                if need > dist:
+                    dist = need
+        return float(dist)
+
     def blockers_of(self, aid: int) -> frozenset[int]:
         return frozenset(self.blocked_by[aid])
 

@@ -55,6 +55,9 @@ class SimulationResult:
     timeline: Optional[TimelineRecorder] = None
     #: Step-barrier completion times (parallel-sync only; Fig. 1 lines).
     step_completion_times: list[float] = field(default_factory=list)
+    #: KV retention counters summed over replicas (all zero when the
+    #: run's ``kv_policy`` is ``none``).
+    kv_stats: dict = field(default_factory=dict)
 
     def speedup_over(self, other: "SimulationResult") -> float:
         """How much faster this run is than ``other`` (>1 = faster)."""
@@ -107,6 +110,7 @@ def run_replay(trace: Trace,
         gpu_busy_fraction=engine.busy_fraction(completion),
         timeline=timeline,
         step_completion_times=getattr(driver, "step_completion_times", []),
+        kv_stats=engine.kv_stats(),
     )
 
 

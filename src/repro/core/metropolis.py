@@ -38,6 +38,7 @@ array-backed round loop:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from time import perf_counter
 
@@ -129,6 +130,14 @@ class MetropolisDriver:
         self._pos_sa = trace.positions_by_step
         self._pos_flat = np.ascontiguousarray(self._pos_sa).reshape(-1, 2)
         self.graph = SpatioTemporalGraph(self.rules, self._pos_sa[0])
+        #: Per agent, the sorted steps whose chains contain LLM calls —
+        #: the replay-mode half of the invocation-distance signal (the
+        #: trace is known, as with ``ignore_eos`` output lengths).
+        self._call_steps = [np.flatnonzero(row).tolist()
+                            for row in trace.chain_lengths()]
+        #: Scheduler-aware serving: the engine's KV eviction key is the
+        #: live invocation-distance prediction per agent.
+        engine.set_distance_provider(self.invocation_distance)
         #: Agents finished with their previous step and not yet dispatched.
         self.ready: set[int] = set(range(n))
         self.done: set[int] = set()
@@ -163,6 +172,34 @@ class MetropolisDriver:
         #: Per-step latencies observed for interactive agents (seconds).
         self.interactive_latencies: list[float] = []
         self.stats.extra["interactive_latencies"] = self.interactive_latencies
+
+    # -- scheduler-aware serving -----------------------------------------
+
+    def invocation_distance(self, aid: int) -> float:
+        """Predicted steps until ``aid``'s next LLM call (KV eviction key).
+
+        Two ingredients, take the max:
+
+        * the dependency graph's wake-step bound — how many steps the
+          slowest blocker must commit before ``aid`` can even be
+          dispatched (:meth:`SpatioTemporalGraph.invocation_distance`);
+        * the trace lookahead — how many steps ahead ``aid``'s next
+          *call-bearing* chain sits (replay mode knows the trace, the
+          same way it knows output lengths). An agent walking a long
+          call-free route was used recently but won't need its KV for
+          many steps — precisely the segment LRU keeps and this evicts.
+
+        Agents with no calls left in the window return ``inf`` (ideal
+        victims).
+        """
+        wake = self.graph.invocation_distance(aid)
+        steps = self._call_steps[aid]
+        s = self.graph.step[aid]
+        i = bisect_left(steps, s)
+        if i >= len(steps):
+            return float("inf")
+        gap = float(steps[i] - s)
+        return gap if gap > wake else wake
 
     # -- controller ------------------------------------------------------
 
@@ -324,14 +361,13 @@ class MetropolisDriver:
     def _launch_batch(self,
                       launches: list[tuple[int, list[int], int, float]]
                       ) -> None:
-        run_task = self.executor.run_task
+        run_cluster = self.executor.run_cluster
         task_done = self._task_done
         for cid, cluster, step, priority in launches:
             def done(a: int, s: int, cid: int = cid) -> None:
                 task_done(cid, a, s)
 
-            for aid in cluster:
-                run_task(aid, step, priority, done)
+            run_cluster(cluster, step, priority, done)
 
     def _task_done(self, cid: int, aid: int, step: int) -> None:
         self.stats.tasks_completed += 1

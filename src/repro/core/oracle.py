@@ -124,11 +124,10 @@ class OracleDriver:
         self._remaining[key] = len(group)
         self.stats.clusters_dispatched += 1
         self.stats.cluster_size_sum += len(group)
-        for aid in group:
-            self.kernel.call_in(
-                self.config.overhead.controller_dispatch,
-                self.executor.run_task, aid, step, float(step),
-                lambda a, s, key=key: self._task_done(key, a, s))
+        self.kernel.call_in(
+            self.config.overhead.controller_dispatch,
+            self.executor.run_cluster, group, step, float(step),
+            lambda a, s, key=key: self._task_done(key, a, s))
 
     def _task_done(self, key: tuple[int, int], aid: int, step: int) -> None:
         self.stats.tasks_completed += 1
@@ -178,7 +177,8 @@ class NoDependencyDriver:
                 priority=float(trace.call_step[i]),
                 on_complete=self._done,
                 context=(int(trace.call_agent[i]), int(trace.call_step[i]),
-                         int(trace.call_func[i])))
+                         int(trace.call_func[i])),
+                agent_id=int(trace.call_agent[i]))
         self.stats.clusters_dispatched = 1
         self.stats.cluster_size_sum = trace.meta.n_agents
 

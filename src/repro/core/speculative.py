@@ -159,13 +159,10 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
 
     def _run_spec_chains(self, cid: int, cluster: list[int], step: int,
                          priority: float) -> None:
-        run_task = self.executor.run_task
-
         def done(a: int, s: int) -> None:
             self._spec_chain_done(cid, a, s)
 
-        for aid in cluster:
-            run_task(aid, step, priority, done)
+        self.executor.run_cluster(cluster, step, priority, done)
 
     # ------------------------------------------------------------------
     # race detection (replay-mode oracle lookahead)

@@ -7,12 +7,18 @@ because each call's prompt depends on the previous call's response
 (Algorithm 2: perceive -> retrieve -> plan).
 
 All scheduler drivers share this executor; they differ only in *when*
-they start tasks.
+they start tasks. Dispatch is cluster-granular: a driver hands a whole
+coupled cluster to :meth:`ChainExecutor.run_cluster`, which resolves
+every member's chain with one vectorized CSR lookup
+(:meth:`repro.trace.Trace.chain_bounds`), schedules a single kernel
+event for the round, and submits the members' first calls to the
+serving engine in one batch — no per-task chain materialization, no
+per-call closures.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..config import OverheadConfig
 from ..devent import Kernel
@@ -23,6 +29,76 @@ from ..trace import Trace
 TaskDone = Callable[[int, int], None]
 #: Per-call observer: (agent_id, step, func_id, submit_t, finish_t).
 CallObserver = Callable[[int, int, int, float, float], None]
+
+
+class _ClusterRun:
+    """In-flight state of one dispatched cluster (one step's round).
+
+    Holds flat cursor/end arrays into the trace's call columns; every
+    request's completion re-enters through the single bound method
+    :meth:`_call_done`, so running a cluster allocates O(members) —
+    not O(calls) — bookkeeping objects.
+    """
+
+    __slots__ = ("ex", "members", "step", "priority", "on_done",
+                 "cur", "end", "index_of")
+
+    def __init__(self, ex: "ChainExecutor", members: Sequence[int],
+                 step: int, priority: float, on_done: TaskDone) -> None:
+        self.ex = ex
+        self.members = members
+        self.step = step
+        self.priority = priority
+        self.on_done = on_done
+        starts, ends = ex.trace.chain_bounds(members, step)
+        self.cur = starts.tolist()
+        self.end = ends.tolist()
+        self.index_of = {aid: i for i, aid in enumerate(members)}
+
+    def start(self) -> None:
+        """Fires once per cluster after the per-step overhead."""
+        ex = self.ex
+        trace = ex.trace
+        specs = []
+        finished = []
+        for i, aid in enumerate(self.members):
+            idx = self.cur[i]
+            if idx >= self.end[i]:
+                finished.append(aid)
+                continue
+            specs.append((aid, int(trace.call_in[idx]),
+                          int(trace.call_out[idx]), self.priority,
+                          self._call_done,
+                          (aid, self.step, int(trace.call_func[idx]))))
+        if specs:
+            ex.calls_issued += len(specs)
+            ex.engine.generate_batch(specs)
+        for aid in finished:
+            self.on_done(aid, self.step)
+
+    def _call_done(self, request: LLMRequest) -> None:
+        """One member's call finished: observe, then advance its chain."""
+        ex = self.ex
+        aid = request.agent_id
+        i = self.index_of[aid]
+        idx = self.cur[i]
+        if ex.call_observer is not None:
+            ex.call_observer(aid, self.step, int(ex.trace.call_func[idx]),
+                             request.submit_time, ex.kernel.now)
+        idx += 1
+        self.cur[i] = idx
+        if idx >= self.end[i]:
+            self.on_done(aid, self.step)
+            return
+        trace = ex.trace
+        ex.calls_issued += 1
+        ex.engine.generate(
+            prompt_tokens=int(trace.call_in[idx]),
+            output_tokens=int(trace.call_out[idx]),
+            priority=self.priority,
+            on_complete=self._call_done,
+            context=(aid, self.step, int(trace.call_func[idx])),
+            agent_id=aid)
 
 
 class ChainExecutor:
@@ -39,32 +115,20 @@ class ChainExecutor:
         #: Total LLM calls issued (for completeness accounting).
         self.calls_issued = 0
 
+    def run_cluster(self, members: Sequence[int], step: int, priority: float,
+                    on_done: TaskDone) -> None:
+        """Start every ``(aid, step)`` task of a dispatched cluster.
+
+        ``on_done`` fires once per member as its chain completes. The
+        members' retained KV (if any) is pinned immediately — their
+        calls are now imminent, the serving engine must not evict them
+        on behalf of further-away agents.
+        """
+        run = _ClusterRun(self, members, step, priority, on_done)
+        self.engine.prefetch(members)
+        self.kernel.call_in(self.overhead.agent_step, run.start)
+
     def run_task(self, aid: int, step: int, priority: float,
                  on_done: TaskDone) -> None:
         """Start the (aid, step) task; ``on_done`` fires at completion."""
-        chain = self.trace.chain(aid, step)
-        self.kernel.call_in(self.overhead.agent_step,
-                            self._issue_next, aid, step, chain, 0,
-                            priority, on_done)
-
-    def _issue_next(self, aid: int, step: int, chain, idx: int,
-                    priority: float, on_done: TaskDone) -> None:
-        if idx >= len(chain):
-            on_done(aid, step)
-            return
-        func_id, prompt_tokens, output_tokens = chain[idx]
-        self.calls_issued += 1
-        submit_time = self.kernel.now
-
-        def _completed(request: LLMRequest) -> None:
-            if self.call_observer is not None:
-                self.call_observer(aid, step, func_id, submit_time,
-                                   self.kernel.now)
-            self._issue_next(aid, step, chain, idx + 1, priority, on_done)
-
-        self.engine.generate(
-            prompt_tokens=int(prompt_tokens),
-            output_tokens=int(output_tokens),
-            priority=priority,
-            on_complete=_completed,
-            context=(aid, step, func_id))
+        self.run_cluster((aid,), step, priority, on_done)

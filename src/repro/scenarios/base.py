@@ -38,6 +38,7 @@ from typing import Sequence
 
 from ..config import STEPS_PER_HOUR, DependencyConfig
 from ..errors import ScenarioError
+from ..serving.profiles import ServingProfile
 from ..world.behavior import BehaviorModel
 from ..world.grid import GridWorld
 from ..world.pathfind import PathPlanner
@@ -89,6 +90,15 @@ class Scenario(abc.ABC):
     #: unchanged. Graph-metric worlds set this (and override
     #: :meth:`space`) so drivers measure distance on their network.
     dependency_config: DependencyConfig | None = None
+    #: Serving-side workload declaration: which simulated deployment the
+    #: end-to-end benches run this world on and what token traffic to
+    #: expect (``repro-bench serving --list-profiles``).
+    serving_profile: ServingProfile = ServingProfile()
+    #: Optional per-function token-shape overrides, merged over the
+    #: GenAgent defaults: ``{func: (base prompt tokens, retrieval top_k,
+    #: output lo, output hi)}``. ``None`` keeps the paper's
+    #: distributions (mean ~643 prompt / ~22 output tokens).
+    token_shapes: dict[str, tuple[int, int, int, int]] | None = None
 
     def __init__(self) -> None:
         self._world: GridWorld | None = None
@@ -171,7 +181,8 @@ class Scenario(abc.ABC):
         personas = self.make_personas(n_agents, seed, homes)
         return BehaviorModel(world, personas, seed=seed,
                              planner=self.planner(),
-                             social_venues=self.social_venues or None)
+                             social_venues=self.social_venues or None,
+                             func_shapes=self.token_shapes)
 
     def validate(self) -> None:
         """Check the map invariants every driver relies on (fail early)."""

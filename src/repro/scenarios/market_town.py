@@ -14,6 +14,7 @@ behind.
 from __future__ import annotations
 
 from .._util import rng_for
+from ..serving.profiles import ServingProfile
 from ..world.grid import GridWorld, Venue
 from ..world.persona import Persona, ScheduleEntry
 from .base import Scenario, hour_step, pick_weighted
@@ -93,6 +94,12 @@ class MarketTownScenario(Scenario):
     #: ~6:31-6:51am — farmers at work, couriers waking and setting out.
     active_window = (2350, 2470)
     social_venues = ("Grand Market", "Tavern")
+    #: Long courier routes widen the spread of invocation distances —
+    #: the cell where distance-aware eviction has the most to win.
+    serving_profile = ServingProfile(
+        platform="l4-8b", gpus=1, mean_prompt_tokens=640.0,
+        mean_output_tokens=22.0, kv_pressure_fraction=0.06,
+        description="market day on L4/Llama-3-8B")
 
     def build_world(self):
         return build_market_town()

@@ -12,6 +12,7 @@ regime where geo-clustering, not blocking, limits the OOO scheduler.
 from __future__ import annotations
 
 from .._util import rng_for
+from ..serving.profiles import ServingProfile
 from ..world.grid import GridWorld, Venue
 from ..world.persona import Persona, ScheduleEntry
 from .base import Scenario, hour_step, pick_weighted
@@ -94,6 +95,12 @@ class MetroGridScenario(Scenario):
     #: 7:10-7:30am — the heart of the morning rush.
     active_window = (2580, 2700)
     social_venues = ("Food Court", "Central Plaza", "Night Cafe")
+    #: Rush-hour crowds keep many coupled agents in flight at once;
+    #: 0.08 of KV is where retained segments start competing.
+    serving_profile = ServingProfile(
+        platform="l4-8b", gpus=1, mean_prompt_tokens=640.0,
+        mean_output_tokens=22.0, kv_pressure_fraction=0.08,
+        description="commuter rush on L4/Llama-3-8B")
 
     def build_world(self):
         return build_metro_grid()

@@ -8,6 +8,7 @@ ones (the calibration tests in ``tests/test_trace.py`` pin this).
 
 from __future__ import annotations
 
+from ..serving.profiles import ServingProfile
 from ..world.persona import SOCIAL_VENUES, Persona, make_personas
 from ..world.smallville import AGENTS_PER_VILLE, build_smallville
 from .base import Scenario
@@ -28,6 +29,12 @@ class SmallvilleScenario(Scenario):
     #: equivalence tests already exercised).
     active_window = (2300, 2420)
     social_venues = tuple(SOCIAL_VENUES)
+    #: The paper's headline deployment: Llama-3-8B on L4s. Token means
+    #: match the measured GenAgent trace (§4.1: ~643 prompt / ~22 out).
+    serving_profile = ServingProfile(
+        platform="l4-8b", gpus=1, mean_prompt_tokens=642.6,
+        mean_output_tokens=21.9, kv_pressure_fraction=0.08,
+        description="GenAgent day on L4/Llama-3-8B (paper §4.1)")
 
     def build_world(self):
         return build_smallville()

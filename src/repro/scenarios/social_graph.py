@@ -19,6 +19,7 @@ from __future__ import annotations
 from .._util import rng_for
 from ..config import DependencyConfig
 from ..errors import ScenarioError
+from ..serving.profiles import ServingProfile
 from ..world.persona import Persona, ScheduleEntry
 from ..world.socialnet import (GraphPlanner, SocialGraphBehavior,
                                build_social_world)
@@ -63,6 +64,12 @@ class SocialGraphScenario(Scenario):
     #: per step. The coupling threshold is therefore 2 hops.
     dependency_config = DependencyConfig(radius_p=1.0, max_vel=1.0,
                                          metric="graph")
+    #: Commute gaps between circles spread invocation distances wide
+    #: — a strong cell for distance-over-LRU eviction.
+    serving_profile = ServingProfile(
+        platform="l4-8b", gpus=1, mean_prompt_tokens=640.0,
+        mean_output_tokens=22.0, kv_pressure_fraction=0.06,
+        description="small-world network on L4/Llama-3-8B")
 
     def __init__(self) -> None:
         super().__init__()

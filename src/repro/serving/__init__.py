@@ -15,10 +15,11 @@ Two fidelities are provided and tested against each other:
 """
 
 from .engine import ServingEngine
+from .memory import KV_POLICIES, KVCacheManager
 from .metrics import EngineMetrics, RequestRecord
 from .perfmodel import PerfModel
-from .profiles import (GPUS, MODELS, GpuProfile, ModelProfile, get_gpu,
-                       get_model)
+from .profiles import (GPUS, MODELS, GpuProfile, ModelProfile,
+                       ServingProfile, get_gpu, get_model)
 from .request import LLMRequest
 
 __all__ = [
@@ -27,10 +28,13 @@ __all__ = [
     "PerfModel",
     "GpuProfile",
     "ModelProfile",
+    "ServingProfile",
     "GPUS",
     "MODELS",
     "get_gpu",
     "get_model",
     "EngineMetrics",
     "RequestRecord",
+    "KVCacheManager",
+    "KV_POLICIES",
 ]

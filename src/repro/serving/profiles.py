@@ -88,6 +88,33 @@ class ModelProfile:
         return 2.0 * (self.params_nonexpert + expert_params * util)
 
 
+@dataclass(frozen=True)
+class ServingProfile:
+    """A scenario's declared serving-side workload shape.
+
+    Each registered world carries one of these (see
+    :class:`repro.scenarios.base.Scenario`), so end-to-end benches know
+    which deployment to simulate and what token traffic to expect
+    without re-measuring the trace.
+    """
+
+    #: Platform key from :data:`repro.bench.runner.PLATFORMS`.
+    platform: str = "l4-8b"
+    #: Total GPUs for the deployment (split into dp x tp by the runner).
+    gpus: int = 1
+    #: Replica fidelity for end-to-end runs.
+    fidelity: str = "fluid"
+    #: Expected mean prompt / output tokens per call for this world's
+    #: behaviour model (documentation + sanity checks, not a control).
+    mean_prompt_tokens: float = 640.0
+    mean_output_tokens: float = 22.0
+    #: ``kv_memory_fraction`` for the KV-constrained bench cell — small
+    #: enough that retained segments compete for space and the eviction
+    #: policy matters.
+    kv_pressure_fraction: float = 0.06
+    description: str = ""
+
+
 GPUS: dict[str, GpuProfile] = {
     "l4": GpuProfile(
         name="NVIDIA L4",

@@ -45,6 +45,8 @@ class _BaseReplica:
                  max_running_requests: int = 256,
                  on_request_finish: Optional[Callable[[LLMRequest], None]] = None,
                  prefix_cache_hit_rate: float = 0.0,
+                 kv_policy: str = "none",
+                 distance_fn=None,
                  ) -> None:
         self.kernel = kernel
         self.perf = perf
@@ -53,17 +55,27 @@ class _BaseReplica:
         self.max_running_requests = max_running_requests
         self.on_request_finish = on_request_finish
         self.prefix_cache_hit_rate = prefix_cache_hit_rate
-        self.kv = KVCacheManager(perf.kv_capacity_tokens)
+        self.kv = KVCacheManager(perf.kv_capacity_tokens, policy=kv_policy,
+                                 distance_fn=distance_fn)
         self._waiting: list[tuple[float, int, LLMRequest]] = []
         self._arrival_seq = 0
         #: running + prefilling + waiting, used by the DP router.
         self.outstanding = 0
         self.busy_time = 0.0
 
+    def _admit(self, request: LLMRequest) -> None:
+        """Reserve KV for ``request``; record its warm-prefix tokens."""
+        request.cached_prompt_tokens = self.kv.reserve(request)
+
     def _prefill_duration(self, request: LLMRequest) -> float:
-        """Prefill latency, discounted by the common-prefix cache."""
-        effective = int(request.prompt_tokens
-                        * (1.0 - self.prefix_cache_hit_rate))
+        """Prefill latency, discounted by warm KV and the prefix cache.
+
+        Tokens already resident in the agent's retained KV segment
+        (invocation-distance retention) skip prefill entirely; the
+        remainder is discounted by the common-prefix cache rate.
+        """
+        cold = request.prompt_tokens - request.cached_prompt_tokens
+        effective = int(cold * (1.0 - self.prefix_cache_hit_rate))
         return self.perf.prefill_time(effective)
 
     # -- queue ----------------------------------------------------------
@@ -96,6 +108,11 @@ class _BaseReplica:
         request.state = RequestState.FINISHED
         request.finish_time = self.kernel.now
         self.kv.release(request)
+        if self.kv.policy != "none":
+            # Keep the finished context warm for the agent's next call
+            # (subject to the retention policy's eviction ordering).
+            self.kv.retain(request.agent_id, request.total_tokens,
+                           now=self.kernel.now)
         self.outstanding -= 1
         if self.on_request_finish is not None:
             self.on_request_finish(request)
@@ -143,7 +160,7 @@ class IterationReplica(_BaseReplica):
         request = self._peek_admissible()
         if request is not None:
             self._pop_waiting()
-            self.kv.reserve(request)
+            self._admit(request)
             request.state = RequestState.PREFILL
             request.prefill_start = self.kernel.now
             duration = self._prefill_duration(request)
@@ -266,7 +283,7 @@ class FluidReplica(_BaseReplica):
         request = self._peek_admissible()
         if request is not None:
             self._pop_waiting()
-            self.kv.reserve(request)
+            self._admit(request)
             request.state = RequestState.PREFILL
             request.prefill_start = self.kernel.now
             self._prefilling = request

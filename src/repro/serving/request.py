@@ -36,6 +36,10 @@ class LLMRequest:
     on_complete: Optional[Callable[["LLMRequest"], None]] = None
     #: Opaque payload for callers (e.g. (agent, step, call index)).
     context: Any = None
+    #: Issuing agent (-1 = anonymous). Keys per-agent KV retention and
+    #: sticky routing; the scheduler's invocation-distance signal is
+    #: looked up under this id.
+    agent_id: int = -1
 
     # lifecycle timestamps (virtual seconds), filled by the engine
     submit_time: float = field(default=-1.0, init=False)
@@ -45,6 +49,9 @@ class LLMRequest:
     state: RequestState = field(default=RequestState.QUEUED, init=False)
     #: Replica that served the request.
     replica_id: int = field(default=-1, init=False)
+    #: Prompt tokens found warm in the agent's retained KV segment at
+    #: admission (prefill is discounted by these; set by the replica).
+    cached_prompt_tokens: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.prompt_tokens < 0:

@@ -197,6 +197,18 @@ class Trace:
         row = agent * self.meta.n_steps + step
         return slice(int(self._row_ptr[row]), int(self._row_ptr[row + 1]))
 
+    def chain_bounds(self, agents: Sequence[int] | np.ndarray,
+                     step: int) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(starts, ends)`` of each agent's call chain at ``step``.
+
+        One fancy index over the row-pointer table for a whole cluster —
+        the executor's per-dispatch-round lookup. ``call_func[starts[i]:
+        ends[i]]`` (and ``call_in`` / ``call_out``) is member ``i``'s
+        chain in order.
+        """
+        rows = np.asarray(agents, dtype=np.int64) * self.meta.n_steps + step
+        return self._row_ptr[rows], self._row_ptr[rows + 1]
+
     def chain(self, agent: int, step: int) -> list[tuple[int, int, int]]:
         """``[(func_id, prompt_tokens, output_tokens), ...]`` for the step."""
         sl = self.chain_slice(agent, step)

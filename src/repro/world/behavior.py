@@ -69,11 +69,24 @@ class BehaviorModel:
 
     def __init__(self, world: GridWorld, personas: Sequence[Persona],
                  seed: int, planner: PathPlanner | None = None,
-                 social_venues: Sequence[str] | None = None) -> None:
+                 social_venues: Sequence[str] | None = None,
+                 func_shapes=None) -> None:
         self.world = world
         self.personas = list(personas)
         self.seed = seed
         self.planner = planner or PathPlanner(world)
+        #: Per-function token shapes: scenario overrides (see
+        #: ``Scenario.token_shapes``) are merged over the GenAgent
+        #: defaults, so a world can declare its own prompt/output
+        #: distributions without forking the behavior model.
+        self._func_shape = dict(self._FUNC_SHAPE)
+        if func_shapes:
+            unknown = set(func_shapes) - set(self._FUNC_SHAPE)
+            if unknown:
+                raise WorldError(
+                    f"func_shapes overrides unknown functions "
+                    f"{sorted(unknown)}")
+            self._func_shape.update(func_shapes)
         #: Venues where conversations spark easily. ``None`` keeps the
         #: SmallVille defaults; scenarios pass their own (see
         #: :mod:`repro.scenarios`).
@@ -402,7 +415,7 @@ class BehaviorModel:
     def _call(self, rng: np.random.Generator, func: str, agent: AgentState,
               step: int) -> LLMCall:
         try:
-            base, top_k, out_lo, out_hi = self._FUNC_SHAPE[func]
+            base, top_k, out_lo, out_hi = self._func_shape[func]
         except KeyError:
             raise WorldError(f"unknown function {func!r}") from None
         jitter = int(rng.integers(-40, 120))

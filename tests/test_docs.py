@@ -8,7 +8,8 @@ from pathlib import Path
 ROOT = Path(__file__).parent.parent
 sys.path.insert(0, str(ROOT / "scripts"))
 
-from check_doc_links import dead_links, doc_files  # noqa: E402
+from check_doc_links import (anchors_of, dead_links,  # noqa: E402
+                             doc_files, heading_slug)
 
 
 def test_no_dead_relative_links():
@@ -41,3 +42,52 @@ def test_checker_cli_passes_on_repo():
 def test_checker_flags_dead_link(tmp_path):
     (tmp_path / "README.md").write_text("see [gone](missing/file.md)\n")
     assert any("missing/file.md" in f for f in dead_links(tmp_path))
+
+
+class TestAnchors:
+    def test_heading_slugification(self):
+        assert heading_slug("Serving layer") == "serving-layer"
+        assert heading_slug("The §3.6 Hot-Path!") == "the-36-hot-path"
+        assert heading_slug("`code` and *emph*") == "code-and-emph"
+        assert heading_slug("[link text](target.md)") == "link-text"
+
+    def test_anchors_of_dedupes_and_skips_fences(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("# Title\n\n## Same\n\n## Same\n\n"
+                       "```\n# not a heading\n```\n")
+        anchors = anchors_of(doc)
+        assert anchors == {"title", "same", "same-1"}
+
+    def test_flags_broken_same_file_anchor(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "# Intro\n\nsee [below](#no-such-section)\n")
+        failures = dead_links(tmp_path)
+        assert any("broken anchor" in f and "#no-such-section" in f
+                   for f in failures)
+
+    def test_flags_broken_cross_file_anchor(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "other.md").write_text("# Real Section\n")
+        (tmp_path / "README.md").write_text(
+            "see [ok](docs/other.md#real-section) and "
+            "[bad](docs/other.md#fake-section)\n")
+        failures = dead_links(tmp_path)
+        assert any("#fake-section" in f for f in failures)
+        assert not any("#real-section" in f for f in failures)
+
+    def test_good_anchor_passes(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "# One Section\n\nsee [up](#one-section)\n")
+        assert dead_links(tmp_path) == []
+
+    def test_non_markdown_fragment_ignored(self, tmp_path):
+        (tmp_path / "README.md").write_text("see [src](foo.py#L10)\n")
+        (tmp_path / "foo.py").write_text("x = 1\n")
+        assert dead_links(tmp_path) == []
+
+    def test_repo_docs_anchors_resolve(self):
+        # The README's pointer into ARCHITECTURE.md's serving section
+        # (among others) must stay valid.
+        assert "serving-layer" in anchors_of(
+            ROOT / "docs" / "ARCHITECTURE.md")
+        assert dead_links(ROOT) == []

@@ -283,6 +283,35 @@ class TestEngineRouting:
         assert 0.5 < engine.busy_fraction(makespan) <= 1.0
 
 
+class TestBatchSubmission:
+    def test_generate_batch_matches_sequential_generates(self):
+        """One whole-cluster handoff = the same calls one at a time."""
+        specs = [(aid, 640, 22, float(aid), None, None)
+                 for aid in range(5)]
+
+        def run(batched):
+            k = Kernel()
+            engine = ServingEngine(k, ServingConfig(fidelity="fluid"))
+            if batched:
+                engine.generate_batch(specs)
+            else:
+                for aid, p, o, prio, cb, ctx in specs:
+                    engine.generate(p, o, priority=prio, on_complete=cb,
+                                    context=ctx, agent_id=aid)
+            k.run()
+            return k.now, engine.metrics.completed
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_batch_requests_carry_agent_ids(self):
+        k = Kernel()
+        engine = ServingEngine(k, ServingConfig(fidelity="fluid"))
+        reqs = engine.generate_batch(
+            [(7, 100, 5, 0.0, None, None), (9, 100, 5, 0.0, None, None)])
+        assert [r.agent_id for r in reqs] == [7, 9]
+        k.run()
+
+
 class TestRequestValidation:
     def test_rejects_bad_tokens(self):
         with pytest.raises(ConfigError):
