@@ -26,9 +26,11 @@ from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
 from .hotpath import (AGENT_COUNTS, BASELINE_PATH,
                       MAX_FALLBACK_SCANS, MAX_KERNEL_EVENTS_PER_CLUSTER,
-                      MIN_SPEEDUP, MIN_THROUGHPUT, TRAJECTORY,
-                      check_report, format_report, load_baseline,
-                      run_hotpath)
+                      MIN_SCALE_RATIO, MIN_SPEEDUP, MIN_THROUGHPUT,
+                      SCALE_AGENTS, SCALE_SCENARIOS, TRAJECTORY,
+                      check_report, check_scale_report,
+                      format_report, format_scale_report, load_baseline,
+                      retry_perf_cells, run_hotpath, run_scale)
 from .serving import (BASELINE_PATH as SERVING_BASELINE_PATH, CELLS,
                       MIN_TOKENS_RATIO, MIN_WALL_RATIO,
                       check_serving_report, format_profiles,
@@ -121,6 +123,20 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="N[,N...]",
                      help="matrix cells --check must find per scenario "
                           "(default: the benchmarked agent list)")
+    hot.add_argument("--scale", action="store_true",
+                     help="run the scale matrix instead: a 2000-agent "
+                          "reference cell plus a large tiled cell per "
+                          f"scenario (default {list(SCALE_SCENARIOS)}) "
+                          "with the region-sharded controller; --check "
+                          "gates the large cell's throughput ratio")
+    hot.add_argument("--scale-agents", type=int, default=SCALE_AGENTS,
+                     help="population of the large scale cell "
+                          f"(default {SCALE_AGENTS}; 1000000 is the "
+                          "documented best-effort local run)")
+    hot.add_argument("--min-scale-ratio", type=float,
+                     default=MIN_SCALE_RATIO,
+                     help="required scale-cell/reference-cell "
+                          "throughput ratio for --scale --check")
     srv = sub.add_parser(
         "serving", help="end-to-end serving matrix: tokens/s + KV "
                         "counters per scenario on its declared "
@@ -177,6 +193,25 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(report, indent=2))
         return 0
 
+    if args.command == "hotpath" and args.scale:
+        out = args.out if args.out != Path("BENCH_hotpath.json") \
+            else Path("BENCH_hotpath_scale.json")
+        scenarios = tuple(args.scenarios) if args.scenarios \
+            else SCALE_SCENARIOS
+        report = run_scale(scenarios=scenarios,
+                           scale_agents=args.scale_agents, out=out)
+        print(format_scale_report(report))
+        if out is not None:
+            print(f"[report written to {out}]")
+        if args.check:
+            failures = check_scale_report(report, args.min_scale_ratio)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("hotpath scale gate: ok")
+        return 0
+
     if args.command == "hotpath":
         if args.check and load_baseline(args.baseline) is None:
             # A missing baseline must not silently degrade the gate to
@@ -196,6 +231,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.check:
             required = tuple(args.require_agents) \
                 if args.require_agents else agent_counts
+            retried = retry_perf_cells(
+                report, baseline=args.baseline, history=args.history,
+                trajectory=TRAJECTORY,
+                min_throughput=args.min_throughput,
+                min_speedup=args.min_speedup, out=args.out)
+            if retried:
+                print(f"[re-measured {len(retried)} noisy cells: "
+                      f"{', '.join(retried)}]")
+                print(format_report(report))
             failures = check_report(
                 report, args.min_throughput, args.min_speedup,
                 required_counts=required,

@@ -118,6 +118,13 @@ class SchedulerConfig:
     #: Maximum blocked clusters executing speculatively at once (§6
     #: speculative execution; used by the ``metropolis-spec`` policy).
     speculation_budget: int = 8
+    #: Region-sharded controller state (million-agent scaling): split the
+    #: map into at most this many provably-independent regions, each with
+    #: its own dependency-graph shard. ``0``/``1`` keeps the single
+    #: graph; sharding also falls back to it when the workload cannot be
+    #: split. Results are bit-identical either way (see
+    #: :mod:`repro.core.sharding`).
+    shards: int = 0
     dependency: DependencyConfig = field(default_factory=DependencyConfig)
     overhead: OverheadConfig = field(default_factory=OverheadConfig)
 

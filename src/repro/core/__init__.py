@@ -12,6 +12,9 @@ This package is the paper's contribution:
 * :mod:`clustering` — §3.4 geo-clustering of coupled agents;
 * :mod:`metropolis` — the Algorithm 3 controller/worker scheduling
   workflow, as a virtual-time driver;
+* :mod:`sharding` — region-sharded controller state: provably
+  independent map regions each own a dependency-graph shard behind a
+  single-graph facade (bit-identical results, million-agent scaling);
 * :mod:`baselines` — Algorithm 1 baselines (``single-thread`` and
   ``parallel-sync``);
 * :mod:`oracle` — the §4.1 ``oracle`` (trace-mined dependencies),
@@ -21,6 +24,7 @@ This package is the paper's contribution:
 
 from .engine import SimulationResult, run_replay, critical_path_time
 from .rules import DependencyRules, rules_for
+from .sharding import ShardedGraph, plan_regions
 from .space import (ChebyshevSpace, EuclideanSpace, GraphSpace,
                     ManhattanSpace, Space, space_for)
 
@@ -30,6 +34,8 @@ __all__ = [
     "critical_path_time",
     "DependencyRules",
     "rules_for",
+    "ShardedGraph",
+    "plan_regions",
     "Space",
     "EuclideanSpace",
     "ChebyshevSpace",

@@ -97,6 +97,30 @@ class SpatialIndex:
             positions[key] = pos
             setdefault(bucket(pos, cell), set()).add(key)
 
+    def bulk_load_cells(self, cells: Sequence[tuple]
+                        ) -> dict[tuple, set[Hashable]]:
+        """Bulk-load dense keys ``0..n-1`` from precomputed fine cells.
+
+        Fast path for array-backed callers (the dependency graph): the
+        caller owns position storage (it aliases its dense position
+        list into :attr:`_positions`) and has already derived every
+        agent's cell in one vectorized pass, so this builds only the
+        bucket map — grouped set construction against reused dict
+        entries, no per-item ``insert``/presence-check churn, no
+        second position dict. Returns the bucket dict so the caller
+        can seed further per-cell structures from the same grouping
+        without regrouping (the graph builds its step-bucketed slot
+        table straight from it).
+        """
+        buckets = self._buckets
+        get = buckets.get
+        for key, c in enumerate(cells):
+            b = get(c)
+            if b is None:
+                buckets[c] = b = set()
+            b.add(key)
+        return buckets
+
     def remove(self, key: Hashable) -> None:
         pos = self._positions.pop(key)
         bucket = self.space.bucket(pos, self.cell)

@@ -41,13 +41,18 @@ standalone ``ClusterCache`` survives only as a deprecation shim).
 The blocker work itself is bounded by three mechanisms that make
 steady-state commits (nearly) scan-free:
 
-* **step-bucketed blocker index** — agents are sharded into slots keyed
-  by ``(step, cell)``, kept densely packed in parallel numpy columns.
-  A full scan is one broadcasted mask over the live slots: each slot
-  carries its *exact* step, so it is dismissed against
-  ``block_threshold(its own gap)`` with no per-cell min-step slop and
-  no dependence on the global step spread, and only members of
-  surviving slots are touched;
+* **step-bucketed blocker index with coarse spatial bands** — agents
+  are sharded into slots keyed by ``(step, cell)``, and the slots are
+  grouped into *bands* of ``BAND_CELLS x BAND_CELLS`` fine cells. A
+  full scan walks only the bands intersecting the row's worst-case
+  reach window (the distance any live laggard's blocking sphere can
+  span), so scan work is O(slots near the agent) instead of O(live
+  slots) — the property that keeps per-commit cost flat from 2k to
+  1M agents. Each slot carries its *exact* step, so it is dismissed
+  against ``block_threshold(its own gap)`` with no per-cell min-step
+  slop, and only members of surviving slots are touched. The
+  ``scanned_slots`` counter records the slots each scan examined (the
+  bench matrix asserts it stays O(local) as the population grows);
 * **slack-bounded scan skipping** — a full scan records the agent's
   *slack* (the minimum over all other agents of ``dist -
   block_threshold(effective gap)``, clamped at a horizon every
@@ -103,6 +108,38 @@ from .space import EuclideanSpace, Position
 #: smaller ones stay scalar (less fixed numpy overhead than the win).
 _VEC_BATCH = 8
 
+#: Shared empty neighbor list (read-only by contract): whole-shard
+#: commits produce mostly-empty neighborhoods on sparse worlds, and one
+#: shared object keeps that O(1) allocations instead of O(population).
+_EMPTY: list[int] = []
+
+#: Fine cells per coarse band, per axis. A band groups up to
+#: BAND_CELLS^2 cells' slots into one sub-table; scans visit only the
+#: bands intersecting the row's reach window. 8 keeps bands small
+#: enough that a window is a handful of bands at every benchmarked
+#: density while leaving enough slots per band to amortize the dict
+#: lookup (swept 4/8/16 on the hotpath matrix).
+BAND_CELLS = 8
+
+
+class _Band:
+    """One coarse band's slot sub-table: parallel per-slot columns.
+
+    Plain Python lists, not numpy: bands hold O(local population)
+    slots, so scans run a scalar loop over a short list — faster than
+    vector-op fixed costs at band size, and append/swap-down stay O(1)
+    without capacity management.
+    """
+
+    __slots__ = ("steps", "xs", "ys", "keys", "members")
+
+    def __init__(self) -> None:
+        self.steps: list[int] = []
+        self.xs: list[int] = []
+        self.ys: list[int] = []
+        self.keys: list[tuple[int, int, int]] = []
+        self.members: list[set[int]] = []
+
 
 class CommitResult:
     """What a cluster commit changed, split by how callers react.
@@ -147,13 +184,16 @@ class SpatioTemporalGraph:
 
     def __init__(self, rules: DependencyRules,
                  initial_positions: "Mapping[int, Position] | np.ndarray",
-                 start_step: int = 0) -> None:
+                 start_step: int = 0,
+                 band_size: int | None = None) -> None:
         self.rules = rules
         if isinstance(initial_positions, np.ndarray):
             # Step-major trace stores hand over one (n, 2) row slice.
+            arr0: np.ndarray | None = initial_positions
             n = len(initial_positions)
             pos_list = [(r[0], r[1]) for r in initial_positions.tolist()]
         else:
+            arr0 = None
             n = len(initial_positions)
             if sorted(initial_positions) != list(range(n)):
                 raise SchedulingError(
@@ -217,6 +257,12 @@ class SpatioTemporalGraph:
         #: Exact type check: subclasses may override dist/within (e.g.
         #: wrap-around metrics), which the inlined L2 would bypass.
         self._euclid = type(rules.space) is EuclideanSpace
+        #: Radius-bounded distance (GraphSpace.dist_within): the exact
+        #: checks below only need the true distance when it is at most
+        #: the compared threshold, so a bounded BFS that returns inf
+        #: past the cap is exact where it matters and O(ball) instead
+        #: of O(component) where it doesn't.
+        self._dist_within = getattr(rules.space, "dist_within", None)
         #: Graph metrics with dense integer node ids vectorize their
         #: commit bookkeeping through GraphSpace.bucket_mat instead.
         self._graph_vec = (self._bucket_fast and not self._coord_vec
@@ -237,33 +283,51 @@ class SpatioTemporalGraph:
         self._cbuf: list[int] = []
         self.comp_hits = 0
         self.comp_misses = 0
+        #: Coarse band width in fine cells (ctor override serves the
+        #: fuzz harness: band_size=1 stresses the window walk, a huge
+        #: value degenerates to the unbanded single-table reference).
+        self._band = int(band_size) if band_size else BAND_CELLS
+        #: Contiguous float64/int64 mirrors of ``pos``/``_cellxy``
+        #: (coordinate grids only): the whole-batch neighbor join
+        #: streams these instead of chasing per-agent tuples through
+        #: the heap — the difference between flat and population-
+        #: proportional commit cost at 100k+ agents.
+        self._posarr: np.ndarray | None = None
+        self._cellarr: np.ndarray | None = None
         if self._bucket_fast:
             # Dense ids let the index read positions straight from the
             # graph's own list: commits update one storage, and
             # query_into sees every move for free.
             self.index._positions = self.pos
-            cap = 64
-            self._bstep = np.zeros(cap, dtype=np.int64)
-            self._bx = np.zeros(cap, dtype=np.int64)
-            self._by = np.zeros(cap, dtype=np.int64)
-            #: Reusable elementwise work buffers for single-row scans
-            #: (same capacity as the slot columns; no allocs per scan).
-            self._w0 = np.zeros(cap, dtype=np.int64)
-            self._w1 = np.zeros(cap, dtype=np.int64)
-            self._bmembers: list[set[int] | None] = [None] * cap
-            self._bkey: list[tuple[int, int, int] | None] = [None] * cap
-            self._bslot: dict[tuple[int, int, int], int] = {}
-            self._bcount = 0
+            #: Banded slot table: slots keyed (step, cellx, celly) live
+            #: in per-band sub-tables keyed by (cellx//B, celly//B);
+            #: _bslot maps each live key to its (band, index) home.
+            #: Frees swap the band's last slot down; empty bands are
+            #: deleted, so scans never touch vacated regions.
+            self._bands: dict[tuple[int, int], _Band] = {}
+            self._bslot: dict[tuple[int, int, int],
+                              tuple[_Band, int]] = {}
             cell = self.index.cell
-            bucket = rules.space.bucket
             #: Current fine cell per agent: commits read the old cell
             #: here instead of re-deriving it from the old position (no
             #: float position mirror to maintain).
-            self._cellxy: list[tuple[int, int]] = [
-                bucket(p, cell) for p in self.pos]
-            for aid in range(n):
-                self._bucket_add(
-                    (start_step,) + self._cellxy[aid], (aid,))
+            self._cellxy: list[tuple[int, int]] = self._init_cells(arr0)
+            if self._coord_vec:
+                self._posarr = (arr0.astype(np.float64)
+                                if arr0 is not None
+                                else np.array(pos_list, dtype=np.float64))
+                self._cellarr = np.array(self._cellxy, dtype=np.int64)
+            # Bulk load: group agents by cell once (C-speed lexsort
+            # grouping), hand the index its buckets, and seed one slot
+            # per occupied cell — instead of n per-agent insertions.
+            groups = self.index.bulk_load_cells(self._cellxy)
+            for c, ids in groups.items():
+                self._bucket_add((start_step,) + c, ids)
+            #: Reused grouping buffers for batched slot migration.
+            self._mig_removals: dict[tuple[int, int, int],
+                                     list[int]] = {}
+            self._mig_additions: dict[tuple[int, int, int],
+                                      list[int]] = {}
         # instrumentation
         self.blocked_events = 0
         self.unblock_events = 0
@@ -275,57 +339,82 @@ class SpatioTemporalGraph:
         #: Linear scans through the non-bucketed fallback path; stays 0
         #: whenever the space offers cell bucketing (regression-tested).
         self.fallback_scans = 0
+        #: Slots examined by full scans (band-window walk): the scale
+        #: matrix asserts this stays O(local population) per scan as
+        #: the world grows.
+        self.scanned_slots = 0
 
     # -- step-bucketed blocker index ---------------------------------------
 
+    def _init_cells(self, arr0: "np.ndarray | None"
+                    ) -> list[tuple[int, int]]:
+        """Initial fine cell per agent, vectorized where the space allows."""
+        cell = self.index.cell
+        space = self.rules.space
+        if arr0 is not None and self._coord_vec:
+            pairs = np.floor_divide(arr0, cell).astype(np.int64).tolist()
+            return [(c[0], c[1]) for c in pairs]
+        if arr0 is not None and self._graph_vec:
+            b0, b1 = space.bucket_mat(
+                arr0[:, 0].astype(np.int64), cell)
+            return list(zip(b0.tolist(), b1.tolist()))
+        bucket = space.bucket
+        return [bucket(p, cell) for p in self.pos]
+
     def _bucket_add(self, key: tuple[int, int, int],
                     aids: Iterable[int]) -> None:
-        slot = self._bslot.get(key)
-        if slot is not None:
-            self._bmembers[slot].update(aids)
+        ent = self._bslot.get(key)
+        if ent is not None:
+            ent[0].members[ent[1]].update(aids)
             return
-        slot = self._bcount
-        if slot == self._bstep.shape[0]:
-            grow = np.zeros(slot, dtype=np.int64)
-            self._bstep = np.concatenate([self._bstep, grow])
-            self._bx = np.concatenate([self._bx, grow])
-            self._by = np.concatenate([self._by, grow.copy()])
-            self._w0 = np.zeros(slot * 2, dtype=np.int64)
-            self._w1 = np.zeros(slot * 2, dtype=np.int64)
-            self._bmembers.extend([None] * slot)
-            self._bkey.extend([None] * slot)
-        self._bcount = slot + 1
-        self._bslot[key] = slot
-        self._bstep[slot] = key[0]
-        self._bx[slot] = key[1]
-        self._by[slot] = key[2]
-        self._bmembers[slot] = set(aids)
-        self._bkey[slot] = key
+        B = self._band
+        bk = (key[1] // B, key[2] // B)
+        band = self._bands.get(bk)
+        if band is None:
+            self._bands[bk] = band = _Band()
+        self._bslot[key] = (band, len(band.steps))
+        band.steps.append(key[0])
+        band.xs.append(key[1])
+        band.ys.append(key[2])
+        band.keys.append(key)
+        band.members.append(set(aids))
 
     def _bucket_discard(self, key: tuple[int, int, int],
                         aids: list[int]) -> None:
-        slot = self._bslot[key]
-        members = self._bmembers[slot]
+        band, idx = self._bslot[key]
+        members = band.members[idx]
         if len(aids) == 1:
             members.discard(aids[0])
         else:
             members.difference_update(aids)
         if members:
             return
-        # Swap the last live slot down so the live prefix stays dense.
+        # Swap the band's last slot down so its columns stay dense.
         del self._bslot[key]
-        last = self._bcount - 1
-        self._bcount = last
-        if slot != last:
-            self._bstep[slot] = self._bstep[last]
-            self._bx[slot] = self._bx[last]
-            self._by[slot] = self._by[last]
-            last_key = self._bkey[last]
-            self._bkey[slot] = last_key
-            self._bmembers[slot] = self._bmembers[last]
-            self._bslot[last_key] = slot
-        self._bkey[last] = None
-        self._bmembers[last] = None
+        steps = band.steps
+        last = len(steps) - 1
+        if idx != last:
+            steps[idx] = steps[last]
+            band.xs[idx] = band.xs[last]
+            band.ys[idx] = band.ys[last]
+            last_key = band.keys[last]
+            band.keys[idx] = last_key
+            band.members[idx] = band.members[last]
+            self._bslot[last_key] = (band, idx)
+        steps.pop()
+        band.xs.pop()
+        band.ys.pop()
+        band.keys.pop()
+        band.members.pop()
+        if not steps:
+            del self._bands[(key[1] // self._band, key[2] // self._band)]
+
+    def _slot_snapshot(self) -> dict[tuple[int, int, int], set[int]]:
+        """Live ``key -> members`` map (tests validate layout through it)."""
+        snap: dict[tuple[int, int, int], set[int]] = {}
+        for key, (band, idx) in self._bslot.items():
+            snap[key] = band.members[idx]
+        return snap
 
     # -- coupling components (§3.4, memoized §3.6) -------------------------
 
@@ -522,6 +611,7 @@ class SpatioTemporalGraph:
         step = self.step
         pos = self.pos
         dist = self.rules.space.dist
+        dist_within = self._dist_within
         euclid = self._euclid
         sqrt = math.sqrt
         base_r = self._base_r
@@ -536,14 +626,16 @@ class SpatioTemporalGraph:
             g = s - step[bid]
             if g <= 0:
                 continue
+            thr = base_r + g * mv
             if euclid:
                 q = pos[bid]
                 dx = pax - q[0]
                 dy = pay - q[1]
                 d = sqrt(dx * dx + dy * dy)
+            elif dist_within is not None:
+                d = dist_within(pa, pos[bid], thr)
             else:
                 d = dist(pa, pos[bid])
-            thr = base_r + g * mv
             if d <= thr:
                 blockers.add(bid)
                 margins[bid] = thr - d
@@ -555,52 +647,81 @@ class SpatioTemporalGraph:
                               list[dict[int, float]], list[list[int]]]:
         """Full blocker scans via the step-bucketed index, one batch.
 
-        One broadcasted ``(rows, slots)`` mask over the live slot prefix
-        prunes the batch: a slot at exact effective gap ``g`` survives
-        only if its cell-level distance lower bound is within
-        ``slack_horizon`` of ``block_threshold(g)``. Only surviving
-        slots' members are examined. Returns per row the blocker set,
-        the measured slack (exact distances for examined members,
-        clamped at the horizon every dismissed slot provably exceeds),
-        the blocking margin per blocker (for wake steps), and the near
-        set (members within the horizon) that licenses scan-free
-        re-checks until the horizon is consumed.
+        Scans are banded: a row's worst-case reach (``(step gap to the
+        oldest laggard) * max_vel`` plus the blocking cut, in cells)
+        defines a window of coarse bands; only slots in those bands are
+        examined — O(local slots), independent of the live-slot total.
+        Per examined slot the *exact* per-slot test runs (cell-level
+        distance lower bound vs ``block_threshold(its own gap)`` plus
+        the slack horizon); the window dismisses the rest a fortiori,
+        since every out-of-window slot exceeds even the worst-case-gap
+        threshold. Returns per row the blocker set, the measured slack
+        (exact distances for examined members, clamped at the horizon
+        every dismissed slot provably exceeds), the blocking margin per
+        blocker (for wake steps), and the near set (members within the
+        horizon) that licenses scan-free re-checks until the horizon is
+        consumed.
         """
-        m = self._bcount
         mv = self.rules.max_vel
         base_r = self._base_r
         horizon = self._slack_horizon
         cut = base_r + horizon
         cellsz = self.index.cell
-        bxm = self._bx[:m]
-        bym = self._by[:m]
-        bstepm = self._bstep[:m]
-        dc = self._w0[:m]
-        w1 = self._w1[:m]
         min_step = self._min_step
-        pairs: list[tuple[int, int]] = []
-        # One 1-D masked pass per row over reusable work buffers: scan
-        # batches are small (usually one row), so per-row vector ops
-        # beat the (rows, slots) broadcast and its temporaries. The
-        # cell-distance prefilter uses the row's worst-case gap — every
-        # slot it dismisses fails the exact per-slot test a fortiori —
-        # so the exact threshold runs only on the surviving handful.
+        B = self._band
+        bands = self._bands
+        n_bands = len(bands)
+        scanned = 0
+        #: (row, slot step, slot members) for every surviving slot.
+        pairs: list[tuple[int, int, set[int]]] = []
         for r in range(len(ids)):
             cx, cy = cells[r]
             s = svs[r]
-            np.subtract(bxm, cx, out=dc)
-            np.absolute(dc, out=dc)
-            np.subtract(bym, cy, out=w1)
-            np.absolute(w1, out=w1)
-            np.maximum(dc, w1, out=dc)
-            reach = ((s - min_step) * mv + cut) / cellsz + 1.0
-            cand = np.nonzero(dc <= reach)[0]
-            if not cand.size:
-                continue
-            gap = np.maximum(s - bstepm[cand], 0)
-            hit = (dc[cand] - 1.0) * cellsz <= gap * mv + cut
-            for slot in cand[hit].tolist():
-                pairs.append((r, slot))
+            # Window of bands that can hold a cell within reach: cell
+            # distance dc passes the exact test only if (dc-1)*cell <=
+            # gap*mv + cut <= (s-min_step)*mv + cut, so rc bounds dc
+            # and floor-division monotonicity bounds the band range.
+            rc = int(((s - min_step) * mv + cut) / cellsz + 1.0)
+            bx_lo = (cx - rc) // B
+            bx_hi = (cx + rc) // B
+            by_lo = (cy - rc) // B
+            by_hi = (cy + rc) // B
+            if (bx_hi - bx_lo + 1) * (by_hi - by_lo + 1) >= n_bands:
+                # Window spans the table: iterating the live bands is
+                # cheaper than probing every window key.
+                window = [band for bk, band in bands.items()
+                          if bx_lo <= bk[0] <= bx_hi
+                          and by_lo <= bk[1] <= by_hi]
+            else:
+                window = []
+                for bkx in range(bx_lo, bx_hi + 1):
+                    for bky in range(by_lo, by_hi + 1):
+                        band = bands.get((bkx, bky))
+                        if band is not None:
+                            window.append(band)
+            # Scalar pass over the window's slots: bands hold O(local)
+            # slots, so a plain loop beats vector-op fixed costs.
+            for band in window:
+                steps_l = band.steps
+                xs = band.xs
+                ys = band.ys
+                membs = band.members
+                scanned += len(steps_l)
+                for i in range(len(steps_l)):
+                    dcx = xs[i] - cx
+                    if dcx < 0:
+                        dcx = -dcx
+                    dcy = ys[i] - cy
+                    if dcy < 0:
+                        dcy = -dcy
+                    if dcy > dcx:
+                        dcx = dcy
+                    g = s - steps_l[i]
+                    if g < 0:
+                        g = 0
+                    if (dcx - 1.0) * cellsz <= g * mv + cut:
+                        pairs.append((r, steps_l[i], membs[i]))
+        self.scanned_slots += scanned
 
         blockers: list[set[int]] = [set() for _ in ids]
         margins: list[dict[int, float]] = [{} for _ in ids]
@@ -608,14 +729,13 @@ class SpatioTemporalGraph:
         slack = [horizon] * len(ids)
         pos = self.pos
         dist = self.rules.space.dist
+        dist_within = self._dist_within
         euclid = self._euclid
         sqrt = math.sqrt
-        bstep = self._bstep
-        members_of = self._bmembers
-        for r, slot in pairs:
+        for r, slot_step, slot_members in pairs:
             aid = ids[r]
             s = svs[r]
-            g = s - int(bstep[slot])
+            g = s - slot_step
             thr = base_r + g * mv if g > 0 else base_r
             near_cut = thr + horizon
             pa = ppos[r]
@@ -627,7 +747,7 @@ class SpatioTemporalGraph:
             row_margins = margins[r]
             row_near = nears[r]
             blocking = g > 0
-            for bid in members_of[slot]:
+            for bid in slot_members:
                 if bid == aid:
                     continue
                 if euclid:
@@ -635,6 +755,10 @@ class SpatioTemporalGraph:
                     dx = pax - q[0]
                     dy = pay - q[1]
                     d = sqrt(dx * dx + dy * dy)
+                elif dist_within is not None:
+                    # Bounded BFS: distances beyond near_cut only ever
+                    # dismiss, so inf is as good as the true value.
+                    d = dist_within(pa, pos[bid], near_cut)
                 else:
                     d = dist(pa, pos[bid])
                 sl = d - thr
@@ -765,12 +889,17 @@ class SpatioTemporalGraph:
 
         ``oc_list``/``nc_list`` carry each member's old/new cell,
         derived in one numpy pass by the caller; shared ``(step, cell)``
-        keys retire through one discard/add each.
+        keys retire through one discard/add each. The grouping dicts
+        persist across calls (cleared, not reallocated): large-batch
+        commits run every round at scale, and rebuilding the dicts per
+        call showed up in the 100k-agent profile.
         """
         step = self.step
         move_bucketed = self.index.move_bucketed
-        removals: dict[tuple[int, int, int], list[int]] = {}
-        additions: dict[tuple[int, int, int], list[int]] = {}
+        removals = self._mig_removals
+        additions = self._mig_additions
+        removals.clear()
+        additions.clear()
         for i, aid in enumerate(members):
             old_step = step[aid]
             oc = oc_list[i]
@@ -806,10 +935,12 @@ class SpatioTemporalGraph:
             # keys once.
             newpos = arr if arr is not None else np.array(
                 rows, dtype=np.float64)
-            nc_pairs = np.floor_divide(newpos, cell).astype(
-                np.int64).tolist()
-            nc_list = [(c[0], c[1]) for c in nc_pairs]
+            nc_arr = np.floor_divide(newpos, cell).astype(np.int64)
+            nc_list = [(c[0], c[1]) for c in nc_arr.tolist()]
             oc_list = [cells[aid] for aid in members]
+            midx = np.asarray(members, dtype=np.intp)
+            self._posarr[midx] = newpos
+            self._cellarr[midx] = nc_arr
             for i, aid in enumerate(members):
                 pos[aid] = rows[i]
                 cells[aid] = nc_list[i]
@@ -833,15 +964,21 @@ class SpatioTemporalGraph:
             # Small batch (the steady-state norm): one fused pass per
             # member, no grouping dicts, bucket transfer only on cell
             # crossings.
+            parr = self._posarr
+            carr = self._cellarr
             for i, aid in enumerate(members):
                 old_step = step[aid]
                 new_p = rows[i]
                 pos[aid] = new_p
+                parr[aid, 0] = new_p[0]
+                parr[aid, 1] = new_p[1]
                 nc = (int(new_p[0] // cell), int(new_p[1] // cell))
                 oc = cells[aid]
                 if nc != oc:
                     move_bucketed(aid, oc, nc)
                     cells[aid] = nc
+                    carr[aid, 0] = nc[0]
+                    carr[aid, 1] = nc[1]
                 nc_list.append(nc)
                 self._bucket_discard((old_step,) + oc, (aid,))
                 self._bucket_add((old_step + 1,) + nc, (aid,))
@@ -978,41 +1115,170 @@ class SpatioTemporalGraph:
                                     found.append(bid)
                 per_member[aid] = found
             return per_member
-        cand: set[int] = set()
-        seen: set[tuple[int, int]] = set()
+        if 4 * len(members) >= self.n_agents:
+            # The batch covers most of the shard (lock-step worlds):
+            # run the no-python-per-member cell join over the
+            # contiguous mirrors instead of walking buckets.
+            return self._neighbors_vec(members, per_member)
+        # Group members by their own cell: members of one cell share a
+        # 3x3 candidate window (r <= cell), so each group runs a small
+        # *local* distance matrix. One global members x candidate-union
+        # product is quadratic in the population once whole-map batches
+        # commit at the same instant (the tiled 100k workload) — the
+        # grouped form keeps commit work O(local) at any batch size.
+        groups: dict[tuple[int, int], list[int]] = {}
         for aid in members:
             pa = pos[aid]
-            x = pa[0]
-            y = pa[1]
-            cx0 = int((x - r) // cell)
-            cx1 = int((x + r) // cell)
-            cy0 = int((y - r) // cell)
-            cy1 = int((y + r) // cell)
-            for bx in range(cx0, cx1 + 1):
-                for by in range(cy0, cy1 + 1):
-                    key = (bx, by)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    b = buckets.get(key)
+            k = (int(pa[0] // cell), int(pa[1] // cell))
+            g = groups.get(k)
+            if g is None:
+                groups[k] = g = []
+            g.append(aid)
+        within_mat = self.rules.space.within_mat
+        within = self.index._within
+        euclid = self._euclid
+        r2 = r * r
+        for (cx, cy), gmembers in groups.items():
+            if len(gmembers) < _VEC_BATCH:
+                # Sparse cell: the exact per-member window walk beats
+                # building a 3x3 candidate union for one or two agents.
+                for aid in gmembers:
+                    pa = pos[aid]
+                    x = pa[0]
+                    y = pa[1]
+                    gx1 = int((x + r) // cell)
+                    gy1 = int((y + r) // cell)
+                    found: list[int] = []
+                    for bx in range(int((x - r) // cell), gx1 + 1):
+                        for by in range(int((y - r) // cell), gy1 + 1):
+                            b = buckets.get((bx, by))
+                            if not b:
+                                continue
+                            if euclid:
+                                for bid in b:
+                                    if bid != aid:
+                                        q = pos[bid]
+                                        dx = x - q[0]
+                                        dy = y - q[1]
+                                        if dx * dx + dy * dy <= r2:
+                                            found.append(bid)
+                            else:
+                                for bid in b:
+                                    if bid != aid \
+                                            and within(pa, pos[bid], r):
+                                        found.append(bid)
+                    per_member[aid] = found
+                continue
+            cand: set[int] = set()
+            for bx in range(cx - 1, cx + 2):
+                for by in range(cy - 1, cy + 2):
+                    b = buckets.get((bx, by))
                     if b:
                         cand.update(b)
-        clist = list(cand)
-        mpos = np.array([[pos[a][0], pos[a][1]] for a in members],
-                        dtype=np.float64)
-        cpos = np.array([[pos[c][0], pos[c][1]] for c in clist],
-                        dtype=np.float64)
-        dx = mpos[:, 0][:, None] - cpos[:, 0][None, :]
-        dy = mpos[:, 1][:, None] - cpos[:, 1][None, :]
-        mask = self.rules.space.within_mat(dx, dy, r)
+            if len(cand) < _VEC_BATCH:
+                for aid in gmembers:
+                    pa = pos[aid]
+                    x = pa[0]
+                    y = pa[1]
+                    found = []
+                    if euclid:
+                        for bid in cand:
+                            if bid != aid:
+                                q = pos[bid]
+                                dx = x - q[0]
+                                dy = y - q[1]
+                                if dx * dx + dy * dy <= r2:
+                                    found.append(bid)
+                    else:
+                        for bid in cand:
+                            if bid != aid and within(pa, pos[bid], r):
+                                found.append(bid)
+                    per_member[aid] = found
+                continue
+            clist = list(cand)
+            mpos = np.array([[pos[a][0], pos[a][1]] for a in gmembers],
+                            dtype=np.float64)
+            cpos = np.array([[pos[c][0], pos[c][1]] for c in clist],
+                            dtype=np.float64)
+            dx = mpos[:, 0][:, None] - cpos[:, 0][None, :]
+            dy = mpos[:, 1][:, None] - cpos[:, 1][None, :]
+            mask = within_mat(dx, dy, r)
+            for aid in gmembers:
+                per_member[aid] = []
+            rows, cols = np.nonzero(mask)
+            for i, c in zip(rows.tolist(), cols.tolist()):
+                bid = clist[c]
+                aid = gmembers[i]
+                if bid != aid:
+                    per_member[aid].append(bid)
+        return per_member
+
+    def _neighbors_vec(self, members: list[int],
+                       per_member: dict[int, list[int]]
+                       ) -> dict[int, list[int]]:
+        """Whole-batch neighborhoods with no per-member python work.
+
+        Cell-sorts the full population once (contiguous mirrors), then
+        joins each member's 3x3 cell window against the sorted runs —
+        searchsorted + one ragged gather per window offset. Candidate
+        windows are supersets of the exact per-member query box
+        (``r <= cell``), and the exact ``within_mat`` filter keeps the
+        result identical to the scalar paths. Members without any
+        neighbor share one immutable empty list: every consumer treats
+        the per-member lists as read-only.
+        """
+        parr = self._posarr
+        carr = self._cellarr
+        n = self.n_agents
+        r = self.rules.couple_threshold
+        cy = carr[:, 1]
+        ylo = int(cy.min())
+        yspan = int(cy.max()) - ylo + 3
+        keys = carr[:, 0] * yspan + (cy - ylo)
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        starts = np.nonzero(np.r_[True, skeys[1:] != skeys[:-1]])[0]
+        ukeys = skeys[starts]
+        ends = np.r_[starts[1:], n]
+        marr = np.asarray(members, dtype=np.intp)
+        mkeys = keys[marr]
+        mpos = parr[marr]
         for aid in members:
-            per_member[aid] = []
-        rows, cols = np.nonzero(mask)
-        for i, c in zip(rows.tolist(), cols.tolist()):
-            bid = clist[c]
-            aid = members[i]
-            if bid != aid:
-                per_member[aid].append(bid)
+            per_member[aid] = _EMPTY
+        within_mat = self.rules.space.within_mat
+        last = len(ukeys) - 1
+        pair_mi: list[np.ndarray] = []
+        pair_bid: list[np.ndarray] = []
+        for d0 in (-1, 0, 1):
+            for d1 in (-1, 0, 1):
+                tk = mkeys + (d0 * yspan + d1)
+                li = np.minimum(np.searchsorted(ukeys, tk), last)
+                hm = np.nonzero(ukeys[li] == tk)[0]
+                if not len(hm):
+                    continue
+                rs = starts[li[hm]]
+                counts = ends[li[hm]] - rs
+                total = int(counts.sum())
+                offs = np.cumsum(counts) - counts
+                flat = (np.arange(total, dtype=np.intp)
+                        - np.repeat(offs, counts) + np.repeat(rs, counts))
+                cids = order[flat]
+                mrows = np.repeat(hm, counts)
+                dx = mpos[mrows, 0] - parr[cids, 0]
+                dy = mpos[mrows, 1] - parr[cids, 1]
+                mask = within_mat(dx, dy, r) & (cids != marr[mrows])
+                if mask.any():
+                    pair_mi.append(mrows[mask])
+                    pair_bid.append(cids[mask])
+        if pair_mi:
+            for i, b in zip(np.concatenate(pair_mi).tolist(),
+                            np.concatenate(pair_bid).tolist()):
+                aid = members[i]
+                lst = per_member[aid]
+                if lst is _EMPTY:
+                    per_member[aid] = [b]
+                else:
+                    lst.append(b)
         return per_member
 
     def _commit_generic(self, members: list[int], rows: list[Position]
@@ -1077,6 +1343,7 @@ class SpatioTemporalGraph:
         blocked_by = self.blocked_by
         wake = self._wake
         dist = self.rules.space.dist
+        dist_within = self._dist_within
         euclid = self._euclid
         sqrt = math.sqrt
         base_r = self._base_r
@@ -1096,14 +1363,16 @@ class SpatioTemporalGraph:
                 self.wake_checks += 1
                 g = step[a] - s_b
                 if g > 0:
+                    thr = base_r + g * mv  # == block_threshold(g)
                     if euclid:
                         q = pos[a]
                         dx = q[0] - pos_b[0]
                         dy = q[1] - pos_b[1]
                         d = sqrt(dx * dx + dy * dy)
+                    elif dist_within is not None:
+                        d = dist_within(pos[a], pos_b, thr)
                     else:
                         d = dist(pos[a], pos_b)
-                    thr = base_r + g * mv  # == block_threshold(g)
                     if d <= thr:
                         wake_b[a] = self._wake_step(s_b, g, thr - d)
                         continue

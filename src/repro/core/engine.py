@@ -9,6 +9,8 @@ time, achieved parallelism, and scheduler-side statistics.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -88,8 +90,23 @@ def run_replay(trace: Trace,
         call_observer=timeline.record if timeline else None)
     driver = _DRIVERS[scheduler.policy](kernel, engine, trace, scheduler,
                                         executor)
-    driver.start()
-    kernel.run()
+    # The driver's structures hold O(agents) container objects, and every
+    # controller round churns O(agents) more; the cyclic collector the
+    # allocator triggers inside the hot loop re-traverses the survivors
+    # each time, which grows into the dominant cost at large populations
+    # (it roughly doubled wall time at 20k agents). The run itself builds
+    # no reference cycles, so plain refcounting reclaims everything;
+    # collection is paused for the loop and any stray cycles are swept
+    # once at the end.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        driver.start()
+        kernel.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
     if not driver.finished():
         raise SchedulingError(
             f"{scheduler.policy}: kernel drained before completion "

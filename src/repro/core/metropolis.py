@@ -51,6 +51,7 @@ from ..serving import ServingEngine
 from ..trace import Trace
 from .baselines import DriverStats
 from .dependency_graph import SpatioTemporalGraph
+from .sharding import ShardedGraph, plan_regions
 from .rules import rules_for
 from .tasks import ChainExecutor
 
@@ -129,7 +130,13 @@ class MetropolisDriver:
         #: tuple lists are ever materialized.
         self._pos_sa = trace.positions_by_step
         self._pos_flat = np.ascontiguousarray(self._pos_sa).reshape(-1, 2)
-        self.graph = SpatioTemporalGraph(self.rules, self._pos_sa[0])
+        shard_members = plan_regions(trace, self.rules, config.shards) \
+            if config.shards >= 2 else None
+        if shard_members is not None:
+            self.graph = ShardedGraph(self.rules, self._pos_sa[0],
+                                      shard_members)
+        else:
+            self.graph = SpatioTemporalGraph(self.rules, self._pos_sa[0])
         #: Per agent, the sorted steps whose chains contain LLM calls —
         #: the replay-mode half of the invocation-distance signal (the
         #: trace is known, as with ``ignore_eos`` output lengths).
@@ -218,7 +225,10 @@ class MetropolisDriver:
         is_blocked = graph.blocked_by
         ready = self.ready
         step = graph.step
-        for aid in dirty:
+        # Sorted iteration pins cluster discovery (and so dispatch and
+        # virtual timing) to a deterministic order: sharded and single
+        # controllers replay identically, set-hash layout never matters.
+        for aid in sorted(dirty):
             if aid in visited or aid not in ready:
                 continue
             cluster = component(aid, visited, exclude, True)
@@ -233,10 +243,17 @@ class MetropolisDriver:
             # instant, so the pending buckets are bypassed outright and
             # the whole round launches through one kernel event.
             launches: list[tuple[int, list[int], int, float]] = []
+            batch: list[int] = []
             for s, cluster in clusters:
                 for m in cluster:
                     ready.discard(m)
-                graph.mark_running(cluster)
+                batch += cluster
+            # One batched transition for the whole round: clusters are
+            # disjoint and the per-agent checks are independent, so
+            # this is equivalent to per-cluster calls — minus the per-
+            # cluster facade/validation overhead at million-agent scale.
+            graph.mark_running(batch)
+            for s, cluster in clusters:
                 self._pending_seq += 1
                 self._admit(s, cluster, launches)
             self._kernel_events += 1
@@ -468,6 +485,8 @@ class MetropolisDriver:
         stats.extra["graph_near_checks"] = graph.near_checks
         stats.extra["graph_wake_skips"] = graph.wake_skips
         stats.extra["graph_fallback_scans"] = graph.fallback_scans
+        stats.extra["graph_scanned_slots"] = graph.scanned_slots
+        stats.extra["shards"] = getattr(graph, "n_shards", 1)
         stats.extra["kernel_events"] = self._kernel_events
 
     def finished(self) -> bool:

@@ -139,3 +139,52 @@ def generate_concatenated_trace(
     # One-tile gutter between segments keeps the worlds disjoint.
     world, _ = scn.world()
     return concat_traces(segments, x_stride=world.width + 1)
+
+
+def generate_scale_trace(
+        total_agents: int,
+        n_steps: int = 30,
+        base_seed: int = 0,
+        scenario: str | Scenario = "smallville",
+        pool_size: int = 8) -> Trace:
+    """Tiled large-population trace for the 100k/1M scale benchmarks.
+
+    Like :func:`generate_concatenated_trace`, but built for populations
+    where simulating thousands of independent day segments would cost
+    more than the benchmark itself:
+
+    * segments cycle through a small pool of ``pool_size``
+      independently-seeded windows (``n_steps`` kept short for the same
+      reason), so generation is O(pool) simulation + O(total) array
+      writes — the writes stream into the preallocated (possibly
+      memmap-backed) store of :func:`concat_traces`;
+    * coordinate scenarios get a **widened gutter**: segments are
+      strided ``2 * (radius_p + (n_steps + 1) * max_vel)`` tiles apart
+      beyond the map width, putting them outside the worst-case
+      blocking threshold for the whole window. The region-sharded
+      controller (:mod:`repro.core.sharding`) can then prove the
+      segments independent and actually shard; the default one-tile
+      gutter is disjoint for *simulation* but within pessimistic
+      blocking range, which forces the planner's single-region
+      fallback. Graph scenarios keep the node-id stride convention —
+      their segments are separate components already.
+    """
+    scn = get_scenario(scenario)
+    per_segment = scn.agents_per_segment
+    if total_agents <= per_segment:
+        return cached_day_trace(base_seed, total_agents, n_steps, scn)
+    pool = [cached_day_trace(base_seed + k, per_segment, n_steps, scn)
+            for k in range(max(1, pool_size))]
+    n_segments, remainder = divmod(total_agents, per_segment)
+    segments = [pool[k % len(pool)] for k in range(n_segments)]
+    if remainder:
+        segments.append(
+            cached_day_trace(base_seed + len(pool), remainder, n_steps, scn))
+    world, _ = scn.world()
+    dep = scn.dependency_config or DependencyConfig()
+    if dep.metric == "graph":
+        x_stride = world.width + 1
+    else:
+        margin = dep.radius_p + (n_steps + 1) * dep.max_vel
+        x_stride = world.width + 1 + 2 * int(margin + 1)
+    return concat_traces(segments, x_stride=x_stride)

@@ -15,6 +15,8 @@ drivers consume.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, replace as dc_replace
 from typing import Sequence
 
@@ -22,6 +24,32 @@ import numpy as np
 
 from ..errors import TraceError
 from ..world.behavior import FUNCS
+
+#: Position stores larger than this many MiB are backed by an unlinked
+#: temp-file ``np.memmap`` instead of anonymous RAM — the million-agent
+#: tiled traces are written once, streamed segment-wise, and mostly read
+#: in step slices, so the page cache handles them better than a resident
+#: allocation. Override with ``REPRO_TRACE_MEMMAP_MB`` (``-1`` disables).
+_MEMMAP_MB_DEFAULT = 512.0
+
+
+def _alloc_positions(shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Zeroed position store, memmap-backed above the size threshold."""
+    env = os.environ.get("REPRO_TRACE_MEMMAP_MB", "")
+    try:
+        thresh_mb = float(env) if env else _MEMMAP_MB_DEFAULT
+    except ValueError:
+        thresh_mb = _MEMMAP_MB_DEFAULT
+    nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    if thresh_mb < 0 or nbytes <= thresh_mb * (1 << 20):
+        return np.zeros(shape, dtype=dtype)
+    fd, path = tempfile.mkstemp(prefix="repro-trace-", suffix=".pos")
+    os.close(fd)
+    arr = np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+    # The mapping keeps the inode alive; unlinking makes cleanup
+    # automatic when the array is garbage-collected (POSIX).
+    os.unlink(path)
+    return arr
 
 
 @dataclass(frozen=True)
@@ -123,12 +151,20 @@ class Trace:
         # the scenario test suite.
         if meta.metric == "graph":
             return
-        deltas = np.diff(self._pos_sa.astype(np.int32), axis=0)
-        speed = np.abs(deltas).sum(axis=2)  # Manhattan per step
-        if speed.size and speed.max() > meta.max_vel:
-            raise TraceError(
-                f"an agent moved {speed.max()} tiles in one step "
-                f"(max_vel={meta.max_vel})")
+        # Chunked over steps: the naive full-trace int32 copy + diff
+        # peaks at ~3x the position store — prohibitive at million-agent
+        # scale, and the check is a pure reduction anyway.
+        pos = self._pos_sa
+        n_rows = pos.shape[0]
+        chunk = max(2, 4_000_000 // max(1, pos.shape[1]))
+        for s0 in range(0, n_rows - 1, chunk - 1):
+            s1 = min(n_rows, s0 + chunk)
+            deltas = np.diff(pos[s0:s1].astype(np.int32), axis=0)
+            speed = np.abs(deltas).sum(axis=2)  # Manhattan per step
+            if speed.size and speed.max() > meta.max_vel:
+                raise TraceError(
+                    f"an agent moved {speed.max()} tiles in one step "
+                    f"(max_vel={meta.max_vel})")
 
     def validate_movement(self) -> None:
         """Check the per-step speed bound in the trace's *own* metric.
@@ -269,25 +305,32 @@ def concat_traces(traces: Sequence[Trace], x_stride: int) -> Trace:
             raise TraceError("all segments must cover the same steps")
         if t.meta.height != first.height:
             raise TraceError("all segments must share map height")
-    positions = []
+    # Stream segment-wise into one preallocated store (memmap-backed
+    # above the threshold — see :func:`_alloc_positions`): the old
+    # per-segment int32 copies + concatenate peaked at 2-3x the final
+    # array, the difference between a million-agent build fitting in
+    # memory or not. Segments repeat from a small pool at scale, so the
+    # per-segment work is a cheap widen-shift-store slice write.
+    total_agents = sum(t.meta.n_agents for t in traces)
+    out = _alloc_positions((first.n_steps + 1, total_agents, 2), np.int32)
     steps, agents, funcs, ins, outs = [], [], [], [], []
     agent_base = 0
     for k, t in enumerate(traces):
-        pos = t.positions_by_step.astype(np.int32)
-        pos[:, :, 0] += k * x_stride
-        positions.append(pos)
+        n = t.meta.n_agents
+        dst = out[:, agent_base:agent_base + n]
+        np.copyto(dst, t.positions_by_step, casting="same_kind")
+        dst[:, :, 0] += k * x_stride
         steps.append(t.call_step)
         agents.append(t.call_agent + agent_base)
         funcs.append(t.call_func)
         ins.append(t.call_in)
         outs.append(t.call_out)
-        agent_base += t.meta.n_agents
+        agent_base += n
     meta = dc_replace(
         first, n_agents=agent_base, segments=len(traces),
         width=(len(traces) - 1) * x_stride + first.width)
     return Trace(
-        meta,
-        np.concatenate(positions, axis=1),
+        meta, out,
         np.concatenate(steps), np.concatenate(agents),
         np.concatenate(funcs), np.concatenate(ins), np.concatenate(outs),
         step_major=True)

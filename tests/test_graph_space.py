@@ -306,3 +306,123 @@ class TestGraphSteadyState:
         base = scn.space()
         assert space.dist((stride + 3, 0), (stride + 9, 0)) == \
             base.dist((3, 0), (9, 0))
+
+
+class TestSampledLandmarks:
+    """Approximate landmarks stay 1-Lipschitz, so every bucketing
+    contract the blocker index relies on survives the sampled path."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(6, 60))
+    def test_sampled_cells_keep_the_lipschitz_lower_bound(self, seed, n):
+        rng = FastRng(seed)
+        adj = small_world(rng, n)
+        space = GraphSpace(adj, sampled_component_min=2)  # force sampling
+        for cell in (1.0, 2.0):
+            buckets = {node: space.bucket(node, cell) for node in range(n)}
+            for a in range(n):
+                for b in range(a + 1, n):
+                    dc = max(abs(buckets[a][0] - buckets[b][0]),
+                             abs(buckets[a][1] - buckets[b][1]))
+                    assert space.dist(a, b) >= (dc - 1) * cell
+
+    def test_sampled_bucket_range_covers_radius(self):
+        rng = FastRng(3)
+        space = GraphSpace(small_world(rng, 40), sampled_component_min=2)
+        for cell in (1.0, 2.0):
+            for source in (0, 13, 27):
+                for radius in (1.0, 3.0):
+                    cells = set(space.bucket_range(source, radius, cell))
+                    for node in range(40):
+                        if space.dist(source, node) <= radius:
+                            assert space.bucket(node, cell) in cells
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(2, 8),
+           v=st.integers(8, 20))
+    def test_blocking_fuzz_under_sampled_landmarks(self, seed, n, v):
+        """The full dict-reference gate with sampling forced on: blocked
+        edges must stay bit-equal even with approximate cells."""
+        from test_hotpath_scheduler import _run_commit_fuzz
+        rng = FastRng(seed)
+        nodes = [(i, 0) for i in range(v)]
+        adj = {node: set() for node in nodes}
+        for i in range(1, v):
+            j = rng.integers(0, i)
+            adj[nodes[i]].add(nodes[j])
+            adj[nodes[j]].add(nodes[i])
+        space = GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()},
+                           sampled_component_min=2)
+        rules = DependencyRules(
+            DependencyConfig(radius_p=1.0, max_vel=1.0, metric="graph"),
+            space=space)
+        positions = {i: nodes[rng.integers(0, v)] for i in range(n)}
+
+        def moves(pos):
+            return [pos, *adj[pos]]
+
+        _run_commit_fuzz(rules, positions, moves, rng, n, iters=15)
+
+    def test_dense_id_levels_have_no_dict(self):
+        """Dense ``(id, 0)`` graphs store levels in the numpy table
+        only — the per-node dict would be ~100 bytes/node at 1M."""
+        adj = {(i, 0): ((i + 1, 0),) if i + 1 < 50 else ()
+               for i in range(50)}
+        adj = {k: tuple(v) for k, v in adj.items()}
+        full = {k: set(v) for k, v in adj.items()}
+        for k, vs in adj.items():
+            for o in vs:
+                full[o].add(k)
+        space = GraphSpace({k: tuple(sorted(v)) for k, v in full.items()},
+                           sampled_component_min=4)
+        assert space._larr is not None
+        assert not space._levels
+        assert space.bucket((0, 0), 1.0) is not None
+
+
+class TestDistWithin:
+    """Capped BFS: the scan paths only need distances up to their
+    threshold, so far pairs must not cost a full-component BFS."""
+
+    def test_within_cap_is_exact(self):
+        rng = FastRng(9)
+        space = GraphSpace(small_world(rng, 40))
+        for a in range(0, 40, 5):
+            for b in range(0, 40, 7):
+                d = space.dist(a, b)
+                if d <= 6.0:
+                    assert space.dist_within(a, b, 6.0) == d
+
+    def test_beyond_cap_reports_beyond(self):
+        # A long path: distances beyond the cap must come back > cap
+        # (inf from the truncated BFS, or exact from a warm cache).
+        chain = {i: tuple(x for x in (i - 1, i + 1) if 0 <= x < 30)
+                 for i in range(30)}
+        space = GraphSpace(chain)
+        assert space.dist_within(0, 29, 5.0) > 5.0
+        assert space.dist_within(0, 3, 5.0) == 3.0
+
+    def test_growing_cap_recomputes(self):
+        chain = {i: tuple(x for x in (i - 1, i + 1) if 0 <= x < 20)
+                 for i in range(20)}
+        space = GraphSpace(chain)
+        assert space.dist_within(0, 10, 3.0) > 3.0
+        assert space.dist_within(0, 10, 12.0) == 10.0  # larger cap: redo
+        assert space.dist_within(0, 4, 12.0) == 4.0    # memoized field
+
+    def test_disconnected_is_infinite(self):
+        space = GraphSpace({0: (1,), 1: (0,), 2: (3,), 3: (2,)})
+        assert space.dist_within(0, 2, 100.0) == math.inf
+
+    def test_agrees_with_dist_after_cache_warm(self):
+        rng = FastRng(21)
+        space = GraphSpace(small_world(rng, 30))
+        for b in range(30):
+            space.dist(0, b)  # warm the full-BFS cache for source 0
+        for b in range(30):
+            d = space.dist(0, b)
+            got = space.dist_within(0, b, 2.0)
+            # Warm cache may return the exact distance above the cap —
+            # callers only compare against thresholds <= cap, so any
+            # value > cap is equivalent to inf for them.
+            assert got == d or (got > 2.0 and d > 2.0)

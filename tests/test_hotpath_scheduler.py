@@ -158,23 +158,32 @@ def _assert_fastpath_invariants(graph, ref, rules, n):
         p = graph.pos[aid]
         key = (graph.step[aid],) + rules.space.bucket(p, cell)
         expected.setdefault(key, set()).add(aid)
-    actual = {graph._bkey[slot]: graph._bmembers[slot]
-              for slot in graph._bslot.values()}
-    assert actual == expected
-    assert len(graph._bslot) == graph._bcount
-    for key, slot in graph._bslot.items():
-        assert (int(graph._bstep[slot]), int(graph._bx[slot]),
-                int(graph._by[slot])) == key
+    assert graph._slot_snapshot() == expected
+    # Banded layout: every live key sits in the band derived from its
+    # cell, the parallel columns agree with the key, and the per-band
+    # tables are exactly the live keys (no leaked empty slots/bands).
+    B = graph._band
+    for key, (band, idx) in graph._bslot.items():
+        assert graph._bands[(key[1] // B, key[2] // B)] is band
+        assert band.keys[idx] == key
+        assert (band.steps[idx], band.xs[idx], band.ys[idx]) == key
+    live_slots = sum(len(b.steps) for b in graph._bands.values())
+    assert live_slots == len(graph._bslot)
+    assert all(b.steps for b in graph._bands.values())
 
 
 def _run_commit_fuzz(rules, positions, move_candidates, rng, n,
-                     iters=40):
+                     iters=40, band_size=None):
     """Shared fuzz body: random batched commits vs the dict reference.
 
     ``move_candidates(pos)`` returns the legal next positions of an
     agent at ``pos`` (must respect ``max_vel`` in the rules' metric).
+    ``band_size`` stresses the banded slot table: 1 maximizes the
+    band-window walk, a huge value degenerates to one global band
+    (the unbanded reference layout) — blocked edges must be bit-equal
+    to the dict reference either way.
     """
-    graph = SpatioTemporalGraph(rules, positions)
+    graph = SpatioTemporalGraph(rules, positions, band_size=band_size)
     ref = DictReferenceGraph(rules, positions)
 
     for _ in range(iters):
@@ -233,9 +242,10 @@ class TestGraphMatchesReferenceModel:
 
     @pytest.mark.parametrize("metric", ["euclidean", "chebyshev",
                                         "manhattan"])
+    @pytest.mark.parametrize("band_size", [None, 1, 10**9])
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(0, 10**9), n=st.integers(2, 12))
-    def test_randomized_commit_order(self, metric, seed, n):
+    def test_randomized_commit_order(self, metric, band_size, seed, n):
         rng = FastRng(seed)
         rules = DependencyRules(DependencyConfig(metric=metric))
         # Span several fine cells and straddle region boundaries so
@@ -248,7 +258,8 @@ class TestGraphMatchesReferenceModel:
             return [(x, y), (x + 1, y), (x - 1, y), (x, y + 1),
                     (x, y - 1)]
 
-        _run_commit_fuzz(rules, positions, moves, rng, n)
+        _run_commit_fuzz(rules, positions, moves, rng, n,
+                         band_size=band_size)
 
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(0, 10**9), n=st.integers(2, 10),
@@ -478,6 +489,71 @@ class TestHotpathBench:
         failures = check_report(report, min_throughput=1e12,
                                 min_speedup=1e12)
         assert len(failures) == 2
+
+    def test_retry_perf_cells_rescues_noise(self, tmp_path, monkeypatch):
+        """A cell failing the ratio bar is re-measured; best run wins."""
+        from repro.bench import hotpath as hp
+
+        base = tmp_path / "base.json"
+        baseline = hp.run_hotpath(scenarios=["smallville"],
+                                  agent_counts=(5,), out=base)
+        # Inflate the baseline so the fresh run fails the 0.9x bar.
+        for e in baseline["entries"]:
+            e["agent_steps_per_sec"] *= 100.0
+        base.write_text(json.dumps(baseline))
+        out = tmp_path / "hp.json"
+        report = hp.run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                                baseline=base, out=out)
+        entry = report["entries"][0]
+        assert entry["speedup_vs_baseline"] < 0.9
+
+        fast = dict(entry)
+        fast["agent_steps_per_sec"] = \
+            baseline["entries"][0]["agent_steps_per_sec"] * 2
+        monkeypatch.setattr(hp, "bench_one", lambda *a, **k: dict(fast))
+        retried = hp.retry_perf_cells(report, baseline=base,
+                                      min_throughput=1.0, min_speedup=0.9,
+                                      out=out)
+        assert retried == ["smallville@5"]
+        assert report["entries"][0]["speedup_vs_baseline"] > 0.9
+        assert hp.check_report(report, min_throughput=1.0,
+                               min_speedup=0.9) == []
+        # The written artifact matches the gate decision.
+        rewritten = json.loads(out.read_text())
+        assert rewritten["entries"][0]["speedup_vs_baseline"] > 0.9
+
+    def test_retry_perf_cells_keeps_real_regressions(self, tmp_path,
+                                                     monkeypatch):
+        """A cell that is slow every attempt still fails, best kept."""
+        from repro.bench import hotpath as hp
+
+        base = tmp_path / "base.json"
+        baseline = hp.run_hotpath(scenarios=["smallville"],
+                                  agent_counts=(5,), out=base)
+        for e in baseline["entries"]:
+            e["agent_steps_per_sec"] *= 100.0
+        base.write_text(json.dumps(baseline))
+        report = hp.run_hotpath(scenarios=["smallville"], agent_counts=(5,),
+                                baseline=base)
+        entry = dict(report["entries"][0])
+
+        calls = []
+        slower = dict(entry)
+        slower["agent_steps_per_sec"] = entry["agent_steps_per_sec"] / 2
+
+        def fake_bench(*a, **k):
+            calls.append(a)
+            return dict(slower)
+
+        monkeypatch.setattr(hp, "bench_one", fake_bench)
+        hp.retry_perf_cells(report, baseline=base, min_throughput=1.0,
+                            min_speedup=0.9, retries=2)
+        assert len(calls) == 2  # retried, but never masked the failure
+        # The slower re-run did not replace the original measurement.
+        assert report["entries"][0]["agent_steps_per_sec"] == \
+            entry["agent_steps_per_sec"]
+        assert hp.check_report(report, min_throughput=1.0,
+                               min_speedup=0.9) != []
 
     def test_cli_check_requires_baseline(self, tmp_path, capsys):
         from repro.bench.cli import main as cli_main
