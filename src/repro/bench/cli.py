@@ -35,6 +35,7 @@ from .serving import (BASELINE_PATH as SERVING_BASELINE_PATH, CELLS,
                       MIN_TOKENS_RATIO, MIN_WALL_RATIO,
                       check_serving_report, format_profiles,
                       format_serving_report, run_serving)
+from .chaos import check_chaos_report, format_chaos_report, run_chaos
 from .smoke import run_smoke
 
 
@@ -82,6 +83,23 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the JSON report here")
     smoke.add_argument("--skip-live", action="store_true",
                        help="skip the live-engine equivalence check")
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection gate: seeded chaos schedules per "
+                      "scenario must end bit-identical to clean "
+                      "lock-step, with every recovery path exercised")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       choices=scenario_names(), dest="scenarios",
+                       help="limit to a scenario (repeatable)")
+    chaos.add_argument("--seed", action="append", type=int, default=None,
+                       dest="seeds",
+                       help="chaos draw seed (repeatable; default 0)")
+    chaos.add_argument("--out", type=Path, default=Path("BENCH_chaos.json"),
+                       help="write the JSON report here")
+    chaos.add_argument("--check", action="store_true",
+                       help="exit 1 if any cell diverges from the "
+                            "lock-step state, leaves a required fault "
+                            "path unexercised, leaks workers, or the "
+                            "watchdog/blackout cells fail")
     hot = sub.add_parser(
         "hotpath", help="controller hot-path throughput (§3.6): agent-"
                         "steps/sec per scenario at several agent scales")
@@ -191,6 +209,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
         print(json.dumps(report, indent=2))
+        return 0
+
+    if args.command == "chaos":
+        seeds = tuple(args.seeds) if args.seeds else (0,)
+        report = run_chaos(out=args.out, scenarios=args.scenarios,
+                           seeds=seeds)
+        print(format_chaos_report(report))
+        if args.out is not None:
+            print(f"[report written to {args.out}]")
+        if args.check:
+            failures = check_chaos_report(report)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("chaos gate: ok")
         return 0
 
     if args.command == "hotpath" and args.scale:

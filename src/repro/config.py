@@ -82,6 +82,83 @@ class OverheadConfig:
 
 
 @dataclass(frozen=True)
+class FaultPolicy:
+    """Fault-tolerance knobs for the live execution layers.
+
+    Consumed by :class:`repro.faults.ResilientClient` (per-call retry,
+    backoff, circuit breaker), by the live engine's redispatch loop and
+    no-progress watchdog, and by the chaos bench. All randomness (backoff
+    jitter) is seeded so failure handling is reproducible.
+    """
+
+    #: Per-LLM-call wall-clock budget in seconds; a call that comes back
+    #: slower counts as a (retryable) timeout failure.
+    call_timeout: float = 30.0
+    #: Retries per LLM call after the first attempt (transient failures
+    #: and timeouts only; hard failures are never retried in-place).
+    max_call_retries: int = 3
+    #: Seeded exponential backoff between call retries:
+    #: ``min(backoff_max, backoff_base * backoff_factor**attempt)``
+    #: scaled by ``1 + U(0, backoff_jitter)``.
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    backoff_max: float = 0.25
+    #: Consecutive primary-client failures that open the circuit breaker.
+    breaker_threshold: int = 5
+    #: Seconds the breaker stays open before one half-open trial call.
+    breaker_cooldown: float = 1.0
+    #: Redispatches per failed cluster before it degrades to the
+    #: fallback plan (one final dispatch on the fallback client).
+    max_redispatches: int = 3
+    #: Seconds without any worker ack (while work is in flight) before
+    #: the watchdog raises a diagnostic ``SchedulingError``.
+    watchdog_timeout: float = 60.0
+    #: Seconds to wait for each worker thread at shutdown before
+    #: abandoning it (daemon threads; counted in the fault stats).
+    worker_join_grace: float = 5.0
+    #: Seed for the backoff-jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.call_timeout <= 0:
+            raise ConfigError(
+                f"call_timeout must be > 0, got {self.call_timeout}")
+        if self.max_call_retries < 0:
+            raise ConfigError(
+                f"max_call_retries must be >= 0, got "
+                f"{self.max_call_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff_base/backoff_max must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_jitter < 0:
+            raise ConfigError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}")
+        if self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}")
+        if self.breaker_cooldown < 0:
+            raise ConfigError(
+                f"breaker_cooldown must be >= 0, got "
+                f"{self.breaker_cooldown}")
+        if self.max_redispatches < 0:
+            raise ConfigError(
+                f"max_redispatches must be >= 0, got "
+                f"{self.max_redispatches}")
+        if self.watchdog_timeout <= 0:
+            raise ConfigError(
+                f"watchdog_timeout must be > 0, got "
+                f"{self.watchdog_timeout}")
+        if self.worker_join_grace < 0:
+            raise ConfigError(
+                f"worker_join_grace must be >= 0, got "
+                f"{self.worker_join_grace}")
+
+
+@dataclass(frozen=True)
 class SchedulerConfig:
     """Scheduler selection and options for a replay run."""
 
@@ -125,6 +202,10 @@ class SchedulerConfig:
     #: split. Results are bit-identical either way (see
     #: :mod:`repro.core.sharding`).
     shards: int = 0
+    #: Fault-tolerance policy for the live engine. ``None`` runs under
+    #: the default :class:`FaultPolicy` (hardening is always on; set an
+    #: explicit policy to tune budgets or tighten the watchdog).
+    faults: "FaultPolicy | None" = None
     dependency: DependencyConfig = field(default_factory=DependencyConfig)
     overhead: OverheadConfig = field(default_factory=OverheadConfig)
 

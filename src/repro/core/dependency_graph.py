@@ -800,6 +800,23 @@ class SpatioTemporalGraph:
                 raise SchedulingError(f"agent {aid} already running")
             self.running[aid] = True
 
+    def abort_running(self, aids: Iterable[int]) -> None:
+        """Exact inverse of :meth:`mark_running` for a failed cluster.
+
+        The members return to the dispatchable pool with step, position,
+        and blocked edges untouched — nothing was committed, so nothing
+        else in the graph moved. Memoized coupling components are
+        invalidated (the members become BFS-visible again), exactly
+        mirroring the invalidation :meth:`mark_running` performed.
+        """
+        aids = list(aids)
+        self.invalidate_components(aids)
+        for aid in aids:
+            if not self.running[aid]:
+                raise SchedulingError(
+                    f"cannot abort agent {aid}: not running")
+            self.running[aid] = False
+
     def commit(self, aids: Iterable[int],
                new_positions: "Mapping[int, Position] | np.ndarray"
                ) -> CommitResult:

@@ -69,8 +69,15 @@ class SimulationResult:
 def run_replay(trace: Trace,
                scheduler: SchedulerConfig | None = None,
                serving: ServingConfig | None = None,
-               collect_timeline: bool = False) -> SimulationResult:
-    """Replay ``trace`` under one scheduling policy; return its result."""
+               collect_timeline: bool = False,
+               fault_hook=None) -> SimulationResult:
+    """Replay ``trace`` under one scheduling policy; return its result.
+
+    ``fault_hook(kernel, engine)``, when given, runs after the engine is
+    built and before the driver starts — the chaos bench uses it to
+    schedule mid-run fault injections (e.g. a replica blackout) in
+    virtual time.
+    """
     scheduler = scheduler or SchedulerConfig()
     serving = serving or ServingConfig()
     if scheduler.policy not in _DRIVERS:
@@ -84,6 +91,8 @@ def run_replay(trace: Trace,
                               "priority_scheduling": scheduler.priority})
     kernel = Kernel()
     engine = ServingEngine(kernel, serving_cfg)
+    if fault_hook is not None:
+        fault_hook(kernel, engine)
     timeline = TimelineRecorder() if collect_timeline else None
     executor = ChainExecutor(
         kernel, engine, trace, scheduler.overhead,

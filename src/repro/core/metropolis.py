@@ -118,6 +118,7 @@ class MetropolisDriver:
     def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
                  config: SchedulerConfig, executor: ChainExecutor) -> None:
         self.kernel = kernel
+        self.engine = engine
         self.trace = trace
         self.config = config
         self.executor = executor
@@ -366,12 +367,18 @@ class MetropolisDriver:
         if (not self._running_clusters and not self._pending
                 and not self._round_pending
                 and len(self.done) < self.graph.n_agents):
+            from ..faults import scheduler_diagnostics
             blocked = {aid: sorted(self.graph.blockers_of(aid))
                        for aid in sorted(self.ready)}
+            running = sorted(
+                aid for info in self._running_info.values()
+                for aid in info[1])
             raise SchedulingError(
-                f"scheduler stalled with {len(self.done)} of "
-                f"{self.graph.n_agents} agents done; ready/blocked: "
-                f"{blocked}")
+                "scheduler stalled\n  " + scheduler_diagnostics(
+                    done=len(self.done), total=self.graph.n_agents,
+                    blocked=blocked, running=running,
+                    ready_depth=len(self._pending),
+                    ack_depth=len(self._round_pending)))
 
     # -- workers -----------------------------------------------------------
 
@@ -488,6 +495,9 @@ class MetropolisDriver:
         stats.extra["graph_scanned_slots"] = graph.scanned_slots
         stats.extra["shards"] = getattr(graph, "n_shards", 1)
         stats.extra["kernel_events"] = self._kernel_events
+        engine_faults = getattr(self.engine, "fault_stats", None)
+        if engine_faults is not None:
+            stats.extra.update(engine_faults())
 
     def finished(self) -> bool:
         self._sync_stats()

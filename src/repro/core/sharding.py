@@ -327,6 +327,14 @@ class ShardedGraph:
         for g in aids:
             running[g] = True
 
+    def abort_running(self, aids: Iterable[int]) -> None:
+        aids = list(aids)
+        for si, (lids, _) in self._grouped(aids).items():
+            self._shards[si].abort_running(lids)
+        running = self.running
+        for g in aids:
+            running[g] = False
+
     def commit(self, aids: Iterable[int],
                new_positions: "Mapping[int, Position] | np.ndarray"
                ) -> CommitResult:

@@ -59,6 +59,20 @@ class WatchError(TransactionError):
     """A watched key changed between WATCH and EXEC (single attempt)."""
 
 
+class FaultError(ReproError):
+    """Base class for injected or surfaced execution-layer faults."""
+
+
+class TransientLLMError(FaultError):
+    """A retryable LLM-call failure (timeout, connection reset...)."""
+
+
+class LLMCallError(FaultError):
+    """A non-retryable LLM-call failure (or a call whose bounded retry
+    budget was exhausted); the worker acks failure and the controller
+    aborts and redispatches the cluster."""
+
+
 class TraceError(ReproError):
     """Malformed or inconsistent trace data."""
 

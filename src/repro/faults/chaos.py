@@ -1,0 +1,107 @@
+"""Deterministic chaos injection for the LLM-client layer.
+
+:class:`FaultSchedule` draws one verdict per call from a seeded stream,
+so a given ``(seed, rates)`` pair always injects the same multiset of
+faults; :class:`ChaosClient` wraps any client and acts the verdicts out.
+The stream is shared across worker threads under a lock — thread
+interleaving may permute *which* call gets *which* verdict between runs,
+but the equivalence gate does not care: the simulation's final state must
+be identical no matter where the faults land.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from ..errors import ConfigError, LLMCallError, TransientLLMError
+
+#: Verdict kinds a schedule can produce.
+FAULT_KINDS = ("transient", "hard", "straggler")
+
+
+class FaultSchedule:
+    """A seeded per-call fault stream.
+
+    ``transient_rate`` / ``hard_rate`` are per-call probabilities of a
+    retryable and a non-retryable failure; ``straggler_rate`` is the
+    probability of an added ``straggler_delay``-second sleep. ``burst``
+    forces the first ``burst`` calls to fail hard regardless of rates —
+    the knob that deterministically drives a circuit breaker open.
+    """
+
+    def __init__(self, seed: int = 0, transient_rate: float = 0.0,
+                 hard_rate: float = 0.0, straggler_rate: float = 0.0,
+                 straggler_delay: float = 0.01, burst: int = 0) -> None:
+        for name, rate in (("transient_rate", transient_rate),
+                           ("hard_rate", hard_rate),
+                           ("straggler_rate", straggler_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if straggler_delay < 0:
+            raise ConfigError(
+                f"straggler_delay must be >= 0, got {straggler_delay}")
+        if burst < 0:
+            raise ConfigError(f"burst must be >= 0, got {burst}")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.hard_rate = hard_rate
+        self.straggler_rate = straggler_rate
+        self.straggler_delay = straggler_delay
+        self.burst = burst
+        self._rng = random.Random(seed)
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def next_verdict(self) -> tuple[str | None, float]:
+        """``(kind, delay)`` for the next call; kind None = clean."""
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+            if index < self.burst:
+                return "hard", 0.0
+            draw = self._rng.random()
+        if draw < self.hard_rate:
+            return "hard", 0.0
+        draw -= self.hard_rate
+        if draw < self.transient_rate:
+            return "transient", 0.0
+        draw -= self.transient_rate
+        if draw < self.straggler_rate:
+            return "straggler", self.straggler_delay
+        return None, 0.0
+
+
+class ChaosClient:
+    """Wraps an ``LLMClient``, injecting faults from a seeded schedule.
+
+    Transient faults raise :class:`TransientLLMError` (retryable by a
+    :class:`~repro.faults.resilient.ResilientClient`); hard faults raise
+    :class:`LLMCallError`; stragglers sleep before delegating. Injection
+    counts are exposed via :attr:`injected` for the chaos gate.
+    """
+
+    def __init__(self, inner, schedule: FaultSchedule) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] += 1
+
+    def complete(self, prompt: str, max_tokens: int,
+                 priority: float = 0.0) -> str:
+        kind, delay = self.schedule.next_verdict()
+        if kind == "hard":
+            self._count(kind)
+            raise LLMCallError("chaos: injected hard LLM failure")
+        if kind == "transient":
+            self._count(kind)
+            raise TransientLLMError("chaos: injected transient LLM error")
+        if kind == "straggler":
+            self._count(kind)
+            time.sleep(delay)
+        return self.inner.complete(prompt, max_tokens, priority=priority)

@@ -17,21 +17,41 @@ without holding the lock during compute.
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from ..errors import TransactionError, WatchError
 
 _MISSING = object()
 
+#: Backoff shape for contended optimistic retries: tiny and bounded so
+#: the happy path is unaffected, but colliding writers desynchronize
+#: instead of livelocking in immediate-retry lockstep.
+_BACKOFF_BASE = 0.0002
+_BACKOFF_FACTOR = 2.0
+_BACKOFF_MAX = 0.02
+
 
 class KVStore:
-    """A typed, versioned, thread-safe key-value store."""
+    """A typed, versioned, thread-safe key-value store.
 
-    def __init__(self) -> None:
+    ``seed`` feeds the jittered retry backoff of :meth:`transaction`, so
+    contention handling is reproducible run-to-run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
         self._data: dict[str, Any] = {}
         self._versions: dict[str, int] = {}
         self._lock = threading.RLock()
+        self._rng = random.Random(seed)
+        #: Optimistic-transaction retries served so far (WatchError
+        #: conflicts that re-ran a body, forced bursts included).
+        self.tx_retries = 0
+        #: Chaos hook: pending commits forced to fail with WatchError.
+        self._forced_conflicts = 0
+        self.injected_conflicts = 0
 
     # -- internal helpers (callers hold the lock) ----------------------
 
@@ -219,7 +239,33 @@ class KVStore:
             self._bump(key)
             return member, score
 
+    # -- chaos hooks ------------------------------------------------------
+
+    def force_conflicts(self, count: int) -> None:
+        """Inject a transaction storm: fail the next ``count`` commits.
+
+        Each forced failure raises :class:`WatchError` exactly as a real
+        conflicting write would, so the optimistic-retry loop (backoff,
+        ``tx_retries`` accounting, the bounded attempt budget) is
+        exercised end-to-end by the chaos bench.
+        """
+        with self._lock:
+            self._forced_conflicts += count
+
     # -- transactions -------------------------------------------------------
+
+    def _retry_sleep(self, attempt: int) -> None:
+        """Seeded jittered exponential backoff between retry attempts.
+
+        Immediate retry livelocks under contention: every colliding
+        writer re-reads, re-computes, and re-collides in lockstep. The
+        jitter desynchronizes them; the cap keeps worst-case added
+        latency bounded.
+        """
+        delay = min(_BACKOFF_MAX, _BACKOFF_BASE * _BACKOFF_FACTOR ** attempt)
+        with self._lock:
+            jitter = 0.5 + self._rng.random()
+        time.sleep(delay * jitter)
 
     def transaction(self, fn: Callable[["Transaction"], Any],
                     max_retries: int = 64) -> Any:
@@ -228,14 +274,19 @@ class KVStore:
         ``fn`` reads through the transaction handle (auto-WATCHing each key
         it touches) and queues writes; after ``fn`` returns, the buffered
         writes are applied atomically iff no watched key changed since it
-        was read. On conflict the body is re-run from scratch.
+        was read. On conflict the body is re-run from scratch after a
+        seeded jittered backoff (counted in :attr:`tx_retries`), up to
+        ``max_retries`` attempts.
         """
-        for _ in range(max_retries):
+        for attempt in range(max_retries):
             txn = Transaction(self)
             result = fn(txn)
             try:
                 txn.commit()
             except WatchError:
+                with self._lock:
+                    self.tx_retries += 1
+                self._retry_sleep(attempt)
                 continue
             return result
         raise TransactionError(
@@ -320,6 +371,10 @@ class Transaction:
             raise TransactionError("transaction already committed")
         store = self._store
         with store._lock:
+            if store._forced_conflicts > 0:
+                store._forced_conflicts -= 1
+                store.injected_conflicts += 1
+                raise WatchError("chaos: injected transaction conflict")
             for key, version in self._watched.items():
                 if store.version(key) != version:
                     raise WatchError(f"watched key {key!r} changed")

@@ -19,6 +19,17 @@ Faithful to the paper's architecture at thread granularity:
   invalidated by its own ``mark_running``/``commit`` transitions — the
   engine runs no cache-invalidation protocol.
 
+**Fault tolerance** (see :mod:`repro.faults`): workers call the LLM
+through a :class:`~repro.faults.ResilientClient` (bounded seeded-backoff
+retries, circuit breaker, fallback on open) and never die on an
+exception — they send a structured *failure ack* instead. The controller
+rolls the failed cluster back via ``SpatioTemporalGraph.abort_running``
+(the exact inverse of ``mark_running``) and redispatches it up to the
+:class:`~repro.config.FaultPolicy` budget, degrading the final attempt to
+the scenario's fallback client; a no-progress watchdog converts a lost
+ack into a diagnostic :class:`SchedulingError` instead of hanging, and
+shutdown always joins the worker pool — a failed run leaks no threads.
+
 ``policy="parallel-sync"`` degrades the controller to one global cluster
 per step (Algorithm 1), which is both a baseline and the reference for
 the OOO-equivalence tests: a correct OOO run must produce the identical
@@ -31,11 +42,14 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
-from ..config import SchedulerConfig
+from ..config import FaultPolicy, SchedulerConfig
 from ..core.dependency_graph import SpatioTemporalGraph
 from ..core.rules import rules_for
-from ..errors import SchedulingError
+from ..errors import ScenarioError, SchedulingError
+from ..faults import (FallbackLLMClient, FaultStats, ResilientClient,
+                      scheduler_diagnostics)
 from ..kvstore import KVStore
 from .clients import LLMClient
 from .environment import WorldProgram
@@ -63,6 +77,9 @@ class LiveResult:
     controller_rounds: int = 0
     #: Final per-agent positions, as stored in the KV store.
     final_positions: dict[int, tuple] = field(default_factory=dict)
+    #: Fault-handling accounting (retries, redispatches, breaker
+    #: transitions, degraded completions...); all zero on a clean run.
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def mean_cluster_size(self) -> float:
@@ -82,21 +99,41 @@ class LiveSimulation:
     def __init__(self, program: WorldProgram, client: LLMClient,
                  scheduler: SchedulerConfig | None = None,
                  num_workers: int = 4,
-                 store: KVStore | None = None) -> None:
+                 store: KVStore | None = None,
+                 fallback_client: LLMClient | None = None) -> None:
         self.program = program
         self.client = client
         self.scheduler = scheduler or SchedulerConfig()
         self.num_workers = max(num_workers, 1)
         self.store = store or KVStore()
+        self.faults_policy = self.scheduler.faults or FaultPolicy()
+        # Degraded-mode plan: an explicit client wins, then the
+        # scenario's fallback_client() hook, then canned completions.
+        self._fallback = fallback_client if fallback_client is not None \
+            else self._scenario_fallback()
+        self._resilient = ResilientClient(client, self.faults_policy,
+                                          fallback=self._fallback)
         # Scenario-aware: SchedulerConfig.scenario routes graph-metric
         # worlds to their GraphSpace; plain configs behave as before.
         self.rules = rules_for(self.scheduler)
         self._ready_queue: queue.PriorityQueue = queue.PriorityQueue()
         self._ack_queue: queue.Queue = queue.Queue()
         self._seq = 0
+        self._attempts: dict[int, int] = {}
+        self._degraded: set[int] = set()
+        self._last_ack = time.monotonic()
         self._stats = LiveResult(target_step=0, wall_time=0.0,
                                  clusters_executed=0, cluster_size_sum=0,
                                  max_step_spread=0)
+
+    def _scenario_fallback(self) -> LLMClient:
+        if self.scheduler.scenario:
+            from ..scenarios import get_scenario  # lazy: import cycle
+            try:
+                return get_scenario(self.scheduler.scenario).fallback_client()
+            except ScenarioError:
+                pass
+        return FallbackLLMClient()
 
     # -- workers ------------------------------------------------------------
 
@@ -105,17 +142,22 @@ class LiveSimulation:
             item = self._ready_queue.get()
             if item[2] is _SHUTDOWN:
                 return
-            _, _, cluster, step = item
+            _, _, cluster, step, degraded = item
+            # Degraded dispatch (redispatch budget exhausted) bypasses
+            # the primary client entirely: the fallback plan must not
+            # depend on the failing dependency.
+            client = self._fallback if degraded else self._resilient
             try:
-                self.program.execute(step, cluster, self.client)
+                self.program.execute(step, cluster, client)
                 # One bulk position read per commit; the ack carries it
                 # so the controller never re-derives positions.
                 positions = self._positions_of(cluster)
                 self._commit_to_store(step, cluster, positions)
                 self._ack_queue.put(("ok", step, cluster, positions))
-            except BaseException as exc:  # surface worker crashes
-                self._ack_queue.put(("error", step, exc, None))
-                return
+            except BaseException as exc:
+                # Structured failure ack: the worker survives, the
+                # controller decides (abort + redispatch or raise).
+                self._ack_queue.put(("fail", step, cluster, exc))
 
     def _positions_of(self, aids) -> dict:
         """Bulk position read: the program's batch hook, or per-agent."""
@@ -154,9 +196,18 @@ class LiveSimulation:
         self._ready_queue = queue.PriorityQueue()
         self._ack_queue = queue.Queue()
         self._seq = 0
+        self._attempts = {}
+        self._degraded = set()
+        self._last_ack = time.monotonic()
         self._stats = LiveResult(target_step=0, wall_time=0.0,
                                  clusters_executed=0, cluster_size_sum=0,
                                  max_step_spread=0)
+        self._resilient = ResilientClient(self.client, self.faults_policy,
+                                          fallback=self._fallback)
+        fallback_calls0 = getattr(self._fallback, "calls", 0)
+        tx_retries0 = self.store.tx_retries
+        injected0 = dict(getattr(self.client, "injected", {}))
+        conflicts0 = self.store.injected_conflicts
         # Only the simulation's own keys: a caller-supplied store may
         # hold unrelated application data.
         self.store.delete(*self.store.keys("agent:"), "commits")
@@ -178,51 +229,176 @@ class LiveSimulation:
             else:
                 self._run_ooo(target_step, n, graph)
         finally:
+            # Shutdown must run on *every* exit path — controller raise
+            # included — so a failed run never leaks live threads. The
+            # workers never die on task failure, so each sentinel stops
+            # exactly one of them; the join grace bounds the wait on a
+            # worker stuck inside a hung LLM call (daemon threads, so
+            # abandoning one cannot hang interpreter exit — it is
+            # counted instead).
             for _ in workers:
                 self._ready_queue.put((float("inf"), self._next_seq(),
-                                       _SHUTDOWN, -1))
+                                       _SHUTDOWN, -1, False))
             for w in workers:
-                w.join(timeout=30)
+                w.join(timeout=self.faults_policy.worker_join_grace)
+            leaked = sum(1 for w in workers if w.is_alive())
+            self._collect_faults(fallback_calls0, tx_retries0, injected0,
+                                 conflicts0, leaked)
         self._stats.target_step = target_step
         self._stats.wall_time = time.monotonic() - start
         self._stats.final_positions = {
             aid: self.store.hget(f"agent:{aid}", "pos") for aid in range(n)}
         return self._stats
 
+    def _collect_faults(self, fallback_calls0: int, tx_retries0: int,
+                        injected0: dict, conflicts0: int,
+                        leaked: int) -> None:
+        """Fold the run's fault counters into the result record."""
+        faults = self._stats.faults
+        resilient = self._resilient
+        faults.llm_retries = resilient.retries
+        faults.llm_failures = resilient.failures
+        faults.llm_timeouts = resilient.timeouts
+        faults.degraded_completions = \
+            getattr(self._fallback, "calls", 0) - fallback_calls0 \
+            if hasattr(self._fallback, "calls") else resilient.degraded
+        faults.breaker_opens = resilient.breaker.opens
+        faults.breaker_closes = resilient.breaker.closes
+        faults.tx_retries = self.store.tx_retries - tx_retries0
+        faults.leaked_workers = leaked
+        injected = dict(getattr(self.client, "injected", {}))
+        for kind, count in injected.items():
+            delta = count - injected0.get(kind, 0)
+            if delta:
+                faults.injected[kind] = delta
+        delta = self.store.injected_conflicts - conflicts0
+        if delta:
+            faults.injected["tx_conflicts"] = delta
+
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
 
-    def _submit(self, step: int, cluster: list[int]) -> None:
+    def _submit(self, step: int, cluster: list[int],
+                degraded: bool = False) -> None:
         priority = float(step) if self.scheduler.priority else 0.0
-        self._ready_queue.put((priority, self._next_seq(), cluster, step))
+        self._ready_queue.put((priority, self._next_seq(), cluster, step,
+                               degraded))
         self._stats.clusters_executed += 1
         self._stats.cluster_size_sum += len(cluster)
 
-    def _check_ack(self, item) -> tuple[int, list[int], dict]:
-        kind, step, payload, positions = item
-        if kind == "error":
+    # -- acks + watchdog ----------------------------------------------------
+
+    def _await_ack(self, diag: Callable[[], str]) -> tuple:
+        """Block for one ack; the watchdog bounds the wait.
+
+        No worker ack within ``watchdog_timeout`` of the previous one
+        (while work is in flight — the caller only blocks when it is)
+        means a hang: a lost ack, a stuck client, a wedged worker. The
+        watchdog raises a diagnostic :class:`SchedulingError` instead of
+        blocking forever.
+        """
+        remaining = self.faults_policy.watchdog_timeout \
+            - (time.monotonic() - self._last_ack)
+        try:
+            item = self._ack_queue.get(timeout=max(remaining, 0.005))
+        except queue.Empty:
             raise SchedulingError(
-                f"worker failed at step {step}: {payload!r}") from payload
-        return step, payload, positions
+                f"watchdog: no worker ack within "
+                f"{self.faults_policy.watchdog_timeout}s\n  {diag()}"
+            ) from None
+        self._last_ack = time.monotonic()
+        return item
 
-    def _await_ack(self) -> tuple[int, list[int], dict]:
-        return self._check_ack(self._ack_queue.get())
-
-    def _poll_ack(self) -> tuple[int, list[int], dict] | None:
+    def _poll_ack(self) -> tuple | None:
         """A non-blocking ack, or None when the queue is drained."""
         try:
             item = self._ack_queue.get_nowait()
         except queue.Empty:
             return None
-        return self._check_ack(item)
+        self._last_ack = time.monotonic()
+        return item
+
+    def _diagnostics(self, graph: SpatioTemporalGraph | None, n: int,
+                     done: int) -> str:
+        blocked: dict[int, list[int]] = {}
+        running: list[int] | None = None
+        if graph is not None:
+            running = [aid for aid in range(n) if graph.running[aid]]
+            for aid in range(n):
+                if not graph.running[aid] and graph.blocked_by[aid]:
+                    blocked[aid] = sorted(graph.blockers_of(aid))
+                    if len(blocked) >= 50:
+                        break
+        return scheduler_diagnostics(
+            done=done, total=n, blocked=blocked or None, running=running,
+            ready_depth=self._ready_queue.qsize(),
+            ack_depth=self._ack_queue.qsize(),
+            last_ack_age=time.monotonic() - self._last_ack,
+            redispatches=self._stats.faults.redispatches)
+
+    # -- failure handling ---------------------------------------------------
+
+    def _handle_failure(self, graph: SpatioTemporalGraph | None, step: int,
+                        cluster: list[int], exc: BaseException) -> None:
+        """Roll a failed cluster back and charge its redispatch budget.
+
+        ``abort_running`` is the exact inverse of the dispatch-time
+        ``mark_running``: members return to the ready pool with steps,
+        positions, and blocked edges untouched (nothing was committed).
+        Attempt counts are per-agent so re-formed clusters with shifted
+        membership keep their history; past ``max_redispatches`` the
+        member's next dispatch is degraded to the fallback client, and
+        one failure beyond that surfaces the original exception.
+        """
+        if graph is not None:
+            graph.abort_running(cluster)
+        faults = self._stats.faults
+        faults.aborted_clusters += 1
+        policy = self.faults_policy
+        worst = 0
+        for m in cluster:
+            count = self._attempts.get(m, 0) + 1
+            self._attempts[m] = count
+            if count > policy.max_redispatches:
+                self._degraded.add(m)
+            if count > worst:
+                worst = count
+        if worst > policy.max_redispatches + 1:
+            raise SchedulingError(
+                f"cluster {cluster} at step {step} failed after "
+                f"{policy.max_redispatches} redispatches and a degraded "
+                f"dispatch: {exc!r}") from exc
+
+    def _clear_attempts(self, members: list[int]) -> None:
+        for m in members:
+            self._attempts.pop(m, None)
+            self._degraded.discard(m)
+
+    # -- run loops ----------------------------------------------------------
 
     def _run_lockstep(self, target_step: int, n: int,
                       start_step: int = 0) -> None:
         everyone = list(range(n))
+        policy = self.faults_policy
         for step in range(start_step, target_step):
-            self._submit(step, everyone)
-            self._await_ack()
+            attempts = 0
+            while True:
+                self._submit(step, everyone,
+                             degraded=attempts > policy.max_redispatches)
+                kind, _, _, payload = self._await_ack(
+                    lambda: self._diagnostics(None, n, step - start_step))
+                if kind == "ok":
+                    break
+                attempts += 1
+                faults = self._stats.faults
+                faults.aborted_clusters += 1
+                faults.redispatches += 1
+                if attempts > policy.max_redispatches + 1:
+                    raise SchedulingError(
+                        f"lock-step batch at step {step} failed after "
+                        f"{policy.max_redispatches} redispatches and a "
+                        f"degraded dispatch: {payload!r}") from payload
 
     def _run_ooo(self, target_step: int, n: int,
                  graph: SpatioTemporalGraph) -> None:
@@ -234,13 +410,15 @@ class LiveSimulation:
         while len(done) < n:
             if in_flight == 0:
                 raise SchedulingError(
-                    f"live scheduler stalled: done={len(done)}/{n}")
+                    f"live scheduler stalled\n  "
+                    f"{self._diagnostics(graph, n, len(done))}")
             # Ack coalescing: block for one ack, then drain whatever
             # else finished while the controller slept — the whole batch
             # retires through one vectorized graph commit (positions
             # come straight from the ack payloads) and one dispatch
             # round.
-            acks = [self._await_ack()]
+            acks = [self._await_ack(
+                lambda: self._diagnostics(graph, n, len(done)))]
             while True:
                 ack = self._poll_ack()
                 if ack is None:
@@ -251,25 +429,35 @@ class LiveSimulation:
             dirty: set[int] = set()
             members_all: list[int] = []
             new_positions: dict[int, tuple] = {}
-            for _, cluster, positions in acks:
+            for kind, step, cluster, payload in acks:
+                if kind == "fail":
+                    # Crash-consistent rollback: nothing was committed,
+                    # so aborting restores the exact pre-dispatch graph.
+                    self._handle_failure(graph, step, cluster, payload)
+                    for aid in cluster:
+                        ready.add(aid)
+                        dirty.add(aid)
+                    continue
                 members_all += cluster
-                new_positions.update(positions)
-            result = graph.commit(members_all, new_positions)
-            spread = graph.max_step - graph.min_step
-            if spread > self._stats.max_step_spread:
-                self._stats.max_step_spread = spread
-            for aid in members_all:
-                if graph.step[aid] >= target_step:
-                    done.add(aid)
-                else:
-                    ready.add(aid)
-                    dirty.add(aid)
-            for aid in result.unblocked:
-                if aid in ready:
-                    dirty.add(aid)
-            for aid in result.neighbors:
-                if aid in ready:
-                    dirty.add(aid)
+                new_positions.update(payload)
+            if members_all:
+                result = graph.commit(members_all, new_positions)
+                self._clear_attempts(members_all)
+                spread = graph.max_step - graph.min_step
+                if spread > self._stats.max_step_spread:
+                    self._stats.max_step_spread = spread
+                for aid in members_all:
+                    if graph.step[aid] >= target_step:
+                        done.add(aid)
+                    else:
+                        ready.add(aid)
+                        dirty.add(aid)
+                for aid in result.unblocked:
+                    if aid in ready:
+                        dirty.add(aid)
+                for aid in result.neighbors:
+                    if aid in ready:
+                        dirty.add(aid)
             self._stats.time_graph += time.perf_counter() - t0
             in_flight += self._dispatch_round(graph, ready, dirty,
                                               target_step)
@@ -288,6 +476,9 @@ class LiveSimulation:
         dispatched = 0
         submit_time = 0.0
         visited: set[int] = set()
+        attempts = self._attempts
+        degraded_pool = self._degraded
+        faults = self._stats.faults
         for seed in sorted(dirty):
             if seed in visited or seed not in ready:
                 continue
@@ -298,7 +489,12 @@ class LiveSimulation:
                 for m in cluster:
                     ready.discard(m)
                 graph.mark_running(cluster)
-                self._submit(step, cluster)
+                if attempts:
+                    if any(m in attempts for m in cluster):
+                        faults.redispatches += 1
+                degraded = bool(degraded_pool) and \
+                    any(m in degraded_pool for m in cluster)
+                self._submit(step, cluster, degraded)
                 dispatched += 1
                 submit_time += time.perf_counter() - s0
         self._stats.time_dispatch += submit_time

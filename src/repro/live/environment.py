@@ -45,6 +45,11 @@ class WorldProgram(Protocol):
         """Run one step for a coupling-closed set of agents.
 
         Called from a worker thread; may issue blocking LLM calls.
+        Delivery is *at-least-once*: after a mid-cluster failure (an LLM
+        call raising) the engine aborts the cluster and re-executes it,
+        possibly re-clustered, so programs must make the world mutation
+        idempotent per ``(step, agent)`` — see :class:`BehaviorProgram`
+        for the memo pattern.
         """
         ...
 
@@ -54,6 +59,16 @@ class BehaviorProgram:
 
     def __init__(self, model: BehaviorModel) -> None:
         self.model = model
+        #: Crash-consistent redispatch memo: ``aid -> (step, calls)`` of
+        #: the last world step applied for the agent. ``execute`` is
+        #: delivered at-least-once (a failed cluster is aborted and
+        #: re-run), but ``step_agents`` mutates the world *before* the
+        #: LLM calls are issued — so re-delivery must replay the cached
+        #: calls without stepping again, or agents double-step and the
+        #: state diverges from lock-step. Disjoint clusters touch
+        #: disjoint keys (the engine never runs an agent twice
+        #: concurrently), so plain dict ops are safe across workers.
+        self._applied: dict[int, tuple[int, list]] = {}
 
     @property
     def n_agents(self) -> int:
@@ -70,7 +85,20 @@ class BehaviorProgram:
 
     def execute(self, step: int, agent_ids: Sequence[int],
                 client: LLMClient) -> None:
-        calls = self.model.step_agents(step, agent_ids)
+        fresh = []
+        calls: dict[int, list] = {}
+        for aid in agent_ids:
+            applied = self._applied.get(aid)
+            if applied is not None and applied[0] == step:
+                calls[aid] = applied[1]  # redispatch: replay, don't re-step
+            else:
+                fresh.append(aid)
+        if fresh:
+            stepped = self.model.step_agents(step, fresh)
+            for aid in fresh:
+                agent_calls = stepped.get(aid, [])
+                self._applied[aid] = (step, agent_calls)
+                calls[aid] = agent_calls
         for aid in sorted(calls):
             for call in calls[aid]:
                 client.complete(

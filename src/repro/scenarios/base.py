@@ -184,6 +184,18 @@ class Scenario(abc.ABC):
                              social_venues=self.social_venues or None,
                              func_shapes=self.token_shapes)
 
+    def fallback_client(self):
+        """Degraded-mode LLM client for fault-tolerant live runs.
+
+        When a cluster exhausts its redispatch budget (or the circuit
+        breaker opens) the live engine serves its members from this
+        client instead of the failing dependency. The default is the
+        canned hold-current-plan completion; scenarios whose personas
+        need richer degraded behavior override this.
+        """
+        from ..faults import FallbackLLMClient  # lazy: avoid cycle
+        return FallbackLLMClient()
+
     def validate(self) -> None:
         """Check the map invariants every driver relies on (fail early)."""
         import numpy as np

@@ -60,6 +60,13 @@ class ServingEngine:
         ]
         self._rr = 0
         self._id_counter = 0
+        # Blackout accounting: counters of dead replicas are carried so
+        # engine-level stats span the whole run, not just the survivors.
+        self._carry_busy_time = 0.0
+        self._carry_kv_stats: dict[str, int] = {}
+        self.replica_blackouts = 0
+        self.rerouted_requests = 0
+        self.lost_retained_tokens = 0
 
     # -- scheduler wiring -------------------------------------------------
 
@@ -144,16 +151,75 @@ class ServingEngine:
                 "is undefined on an empty deployment")
         if makespan <= 0:
             return 0.0
-        total = sum(r.busy_time for r in self.replicas)
+        total = self._carry_busy_time \
+            + sum(r.busy_time for r in self.replicas)
         return total / (len(self.replicas) * makespan)
 
     def kv_stats(self) -> dict[str, int]:
-        """KV retention counters summed across replicas."""
-        totals: dict[str, int] = {}
+        """KV retention counters summed across replicas (dead included)."""
+        totals = dict(self._carry_kv_stats)
         for replica in self.replicas:
             for key, value in replica.kv.stats().items():
                 totals[key] = totals.get(key, 0) + value
+        # A fresh post-blackout replica starts with zero retained
+        # tokens, so the carried (pre-crash) gauge must not be summed
+        # in as if those tokens were still resident.
+        totals["retained_tokens"] = sum(
+            r.kv.retained_tokens for r in self.replicas)
         return totals
+
+    def fault_stats(self) -> dict[str, int]:
+        """Blackout accounting for the driver's stats record."""
+        return {
+            "replica_blackouts": self.replica_blackouts,
+            "rerouted_requests": self.rerouted_requests,
+            "lost_retained_tokens": self.lost_retained_tokens,
+        }
+
+    # -- fault injection --------------------------------------------------
+
+    def blackout_replica(self, replica_id: int) -> int:
+        """Crash replica ``replica_id``; reroute its in-flight requests.
+
+        Models a replica failure mid-run: every retained KV segment on
+        the replica is lost (its sticky-routed agents re-prefill cold
+        elsewhere), in-flight and queued requests are re-routed to the
+        surviving replicas — re-prefilled from scratch, their reserved
+        KV re-acquired at the new home — and a fresh replica object
+        replaces the dead one (the recovered instance joins the DP
+        group empty, as a restarted engine process would). Returns the
+        number of requests rerouted.
+        """
+        n = len(self.replicas)
+        if not 0 <= replica_id < n:
+            raise ServingError(
+                f"cannot blackout replica {replica_id}: deployment has "
+                f"{n} replicas")
+        dead = self.replicas[replica_id]
+        orphans = dead.drain()
+        self.lost_retained_tokens += dead.kv.drop_all_retained()
+        self._carry_busy_time += dead.busy_time
+        for key, value in dead.kv.stats().items():
+            self._carry_kv_stats[key] = \
+                self._carry_kv_stats.get(key, 0) + value
+        self.replicas[replica_id] = make_replica(
+            self.config.fidelity, self.kernel, self.perf,
+            replica_id=replica_id,
+            priority_scheduling=self.config.priority_scheduling,
+            max_running_requests=self.config.max_running_requests,
+            on_request_finish=self._record_finish,
+            prefix_cache_hit_rate=self.config.prefix_cache_hit_rate,
+            kv_policy=self.config.kv_policy,
+            distance_fn=self._agent_distance)
+        self.replica_blackouts += 1
+        for request in orphans:
+            # Internal re-route: the request was already counted by
+            # metrics.on_submit at original submission, so route
+            # straight to a replica (sticky KV on the dead replica is
+            # gone; survivors' retained segments still attract).
+            self._pick_replica(request.agent_id).submit(request)
+        self.rerouted_requests += len(orphans)
+        return len(orphans)
 
     # -- internals -------------------------------------------------------
 

@@ -238,6 +238,19 @@ class KVCacheManager:
         if seg.pinned:
             self.forced_evictions += 1
 
+    def drop_all_retained(self) -> int:
+        """Blackout hook: lose every retained segment; return tokens lost.
+
+        Models a replica crash — soft (retained) KV is gone, so every
+        sticky-routed agent re-prefills cold on its next call. Counted
+        separately from policy evictions: losing cache to a crash says
+        nothing about the retention policy's quality.
+        """
+        lost = self.retained_tokens
+        self._retained.clear()
+        self.retained_tokens = 0
+        return lost
+
     def _evict_down_to(self, budget: int) -> None:
         """Shrink retained footprint to at most ``budget`` tokens."""
         while self.retained_tokens > budget:

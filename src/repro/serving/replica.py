@@ -121,12 +121,39 @@ class _BaseReplica:
             # call in an agent's chain) are ordinary events.
             self.kernel.call_at(self.kernel.now, request.on_complete, request)
 
+    # -- blackout ---------------------------------------------------------
+
+    def drain(self) -> list[LLMRequest]:
+        """Crash this replica: return every in-flight request, requeueable.
+
+        Models a replica blackout. Pending kernel events are cancelled
+        (a dead replica must not deliver completions), KV reservations
+        are released, and every admitted request is reset to ``QUEUED``
+        with its warm-prefix credit stripped — on another replica it
+        re-prefills cold. Order is deterministic: admitted requests by
+        id, then the waiting queue in its scheduling order.
+        """
+        admitted = self._drain_admitted()
+        admitted.sort(key=lambda r: r.request_id)
+        waiting = [heapq.heappop(self._waiting)[2] for _ in
+                   range(len(self._waiting))]
+        for request in admitted:
+            self.kv.release(request)
+            request.state = RequestState.QUEUED
+            request.cached_prompt_tokens = 0
+        self.outstanding = 0
+        return admitted + waiting
+
     # -- hooks ------------------------------------------------------------
 
     def _num_running(self) -> int:
         raise NotImplementedError
 
     def _on_state_change(self) -> None:
+        raise NotImplementedError
+
+    def _drain_admitted(self) -> list[LLMRequest]:
+        """Cancel events; return admitted (prefilling+running) requests."""
         raise NotImplementedError
 
     def idle(self) -> bool:
@@ -144,6 +171,9 @@ class IterationReplica(_BaseReplica):
         self._kv_context = 0.0
         self._event = None
         self._busy_until = 0.0
+        #: request currently in its prefill burst (``_event`` holds the
+        #: completion event); tracked so a blackout can recover it.
+        self._prefilling: Optional[LLMRequest] = None
 
     def _num_running(self) -> int:
         return len(self._running)
@@ -165,6 +195,7 @@ class IterationReplica(_BaseReplica):
             request.prefill_start = self.kernel.now
             duration = self._prefill_duration(request)
             self.busy_time += duration
+            self._prefilling = request
             self._event = self.kernel.call_in(
                 duration, self._prefill_done, request)
             return
@@ -177,6 +208,7 @@ class IterationReplica(_BaseReplica):
         self._event = None
 
     def _prefill_done(self, request: LLMRequest) -> None:
+        self._prefilling = None
         request.state = RequestState.DECODE
         request.decode_start = self.kernel.now
         self._running[request] = request.output_tokens
@@ -198,6 +230,18 @@ class IterationReplica(_BaseReplica):
         self._event = None
         self._schedule_next()
 
+    def _drain_admitted(self) -> list[LLMRequest]:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        admitted = list(self._running)
+        self._running.clear()
+        self._kv_context = 0.0
+        if self._prefilling is not None:
+            admitted.append(self._prefilling)
+            self._prefilling = None
+        return admitted
+
 
 class FluidReplica(_BaseReplica):
     """Token-clock simulation, exact at batch-change granularity."""
@@ -213,6 +257,9 @@ class FluidReplica(_BaseReplica):
         self._last_sync = 0.0
         self._prefilling: Optional[LLMRequest] = None
         self._event = None
+        #: pending prefill-end event (separate from ``_event`` so
+        #: ``_reschedule`` never cancels it); a blackout must.
+        self._prefill_event = None
 
     def _num_running(self) -> int:
         return len(self._running) + (1 if self._prefilling is not None else 0)
@@ -289,7 +336,8 @@ class FluidReplica(_BaseReplica):
             self._prefilling = request
             duration = self._prefill_duration(request)
             self.busy_time += duration
-            self.kernel.call_in(duration, self._prefill_done, request)
+            self._prefill_event = self.kernel.call_in(
+                duration, self._prefill_done, request)
             return
         if self._running:
             tau_next = self._running[0][0]
@@ -299,6 +347,7 @@ class FluidReplica(_BaseReplica):
 
     def _prefill_done(self, request: LLMRequest) -> None:
         self._prefilling = None
+        self._prefill_event = None
         self._last_sync = self.kernel.now  # decode resumes now
         request.state = RequestState.DECODE
         request.decode_start = self.kernel.now
@@ -322,6 +371,21 @@ class FluidReplica(_BaseReplica):
             self._kv_context -= request.total_tokens
             self._finish(request)
         self._reschedule()
+
+    def _drain_admitted(self) -> list[LLMRequest]:
+        self._cancel_event()
+        if self._prefill_event is not None:
+            self._prefill_event.cancel()
+            self._prefill_event = None
+        admitted = [request for _, _, request in self._running]
+        self._running.clear()
+        self._kv_context = 0.0
+        self._tau = 0.0
+        self._last_sync = self.kernel.now
+        if self._prefilling is not None:
+            admitted.append(self._prefilling)
+            self._prefilling = None
+        return admitted
 
 
 def make_replica(fidelity: str, *args, **kwargs) -> _BaseReplica:

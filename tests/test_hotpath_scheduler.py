@@ -16,7 +16,7 @@ from repro.core import DependencyRules
 from repro.core.clustering import ClusterCache, SpatialIndex
 from repro.core.dependency_graph import SpatioTemporalGraph
 from repro.core.space import EuclideanSpace, GraphSpace
-from repro.errors import SchedulingError
+from repro.errors import CausalityViolation, SchedulingError
 
 
 class DictReferenceGraph:
@@ -685,3 +685,134 @@ class TestHotpathBench:
                                 max_fallback_scans=-1)
         assert any("kernel events per cluster" in f for f in failures)
         assert any("fallback scans" in f for f in failures)
+
+
+def _observable_state(graph, n):
+    """Everything a scheduler can see, deep-copied for comparison."""
+    state = {
+        "blocked_by": [set(graph.blocked_by[a]) for a in range(n)],
+        "waiters": [set(graph.waiters[a]) for a in range(n)],
+        "step": [graph.step[a] for a in range(n)],
+        "pos": [graph.pos[a] for a in range(n)],
+        "running": [graph.running[a] for a in range(n)],
+        "min_step": graph.min_step,
+        "max_step": graph.max_step,
+        "components": [graph.component_for(a, set())
+                       for a in range(n) if not graph.running[a]],
+    }
+    if graph._bucket_fast:
+        state["slots"] = graph._slot_snapshot()
+    return state
+
+
+class TestAbortRunning:
+    """Crash-consistent rollback: abort is the exact inverse of
+    mark_running (PR 8 fault-tolerance contract)."""
+
+    def _graph(self):
+        rules = DependencyRules(DependencyConfig())
+        positions = {0: (0, 0), 1: (2, 0), 2: (50, 0), 3: (52, 0),
+                     4: (200, 0)}
+        return rules, SpatioTemporalGraph(rules, positions)
+
+    def test_abort_restores_observable_state(self):
+        _, graph = self._graph()
+        before = _observable_state(graph, 5)
+        graph.mark_running([0, 1])
+        graph.abort_running([0, 1])
+        assert _observable_state(graph, 5) == before
+
+    def test_aborted_cluster_is_redispatchable(self):
+        rules, graph = self._graph()
+        graph.mark_running([2, 3])
+        graph.abort_running([2, 3])
+        # The rolled-back members are immediately eligible again and the
+        # redispatched component is identical to the aborted one.
+        assert not graph.running[2] and not graph.running[3]
+        assert graph.component_for(2, set()) == [2, 3]
+        graph.mark_running([2, 3])
+        graph.commit([2, 3], {2: (50, 0), 3: (52, 0)})
+        assert graph.step[2] == 1 and graph.step[3] == 1
+
+    def test_abort_of_non_running_agent_raises(self):
+        _, graph = self._graph()
+        with pytest.raises(SchedulingError, match="not running"):
+            graph.abort_running([0])
+        graph.mark_running([0, 1])
+        with pytest.raises(SchedulingError, match="not running"):
+            graph.abort_running([0, 4])
+
+    @pytest.mark.parametrize("band_size", [None, 1])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**9), n=st.integers(2, 12))
+    def test_abort_then_redispatch_fuzz(self, band_size, seed, n):
+        """Random interleavings of dispatch/abort/commit must keep the
+        array-backed graph bit-equal to the dict reference: blocked
+        edges, waiters, slot tables, component memos, and the §3.2
+        validity condition all hold through rollbacks."""
+        rng = FastRng(seed)
+        rules = DependencyRules(DependencyConfig())
+        positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
+                     for i in range(n)}
+        graph = SpatioTemporalGraph(rules, positions,
+                                    band_size=band_size)
+        ref = DictReferenceGraph(rules, positions)
+
+        for _ in range(40):
+            members = _random_cluster(graph, rules, rng, n)
+            assert members is not None, "graph deadlocked"
+            graph.mark_running(members)
+            for m in members:
+                ref.running[m] = True
+            if rng.random() < 0.45:  # fault: roll the dispatch back
+                graph.abort_running(members)
+                for m in members:
+                    ref.running[m] = False
+            else:  # success: the (possibly re-)dispatch commits
+                new_pos = {}
+                for m in members:
+                    x, y = graph.pos[m]
+                    cands = [(x, y), (x + 1, y), (x - 1, y), (x, y + 1),
+                             (x, y - 1)]
+                    new_pos[m] = cands[rng.integers(0, len(cands))]
+                result = graph.commit(members, new_pos)
+                ref_unblocked, ref_neighbors, _ = ref.commit(members,
+                                                             new_pos)
+                assert result.unblocked == ref_unblocked
+                assert result.neighbors == ref_neighbors
+            _assert_graph_matches_reference(graph, ref, n)
+            _assert_fastpath_invariants(graph, ref, rules, n)
+            for aid in range(n):
+                if not graph.running[aid]:
+                    assert graph.component_for(aid, set()) == \
+                        _ref_component(ref, rules, aid)
+            graph.validate()  # rollbacks never break §3.2 validity
+
+
+class TestCausalityViolation:
+    """The runtime validity check fails loudly with a typed error."""
+
+    def test_violating_snapshot_raises_with_details(self):
+        rules = DependencyRules(DependencyConfig())
+        states = [(0, 5, (0.0, 0.0)), (1, 0, (1.0, 0.0))]
+        with pytest.raises(CausalityViolation) as err:
+            rules.validate_state(states)
+        exc = err.value
+        assert {exc.agent_a, exc.agent_b} == {0, 1}
+        assert {exc.step_a, exc.step_b} == {5, 0}
+        assert exc.distance == pytest.approx(1.0)
+        assert exc.distance <= exc.threshold
+        assert isinstance(exc, SchedulingError)  # callers can catch broad
+
+    def test_same_step_agents_always_valid(self):
+        rules = DependencyRules(DependencyConfig())
+        rules.validate_state([(0, 3, (0.0, 0.0)), (1, 3, (0.1, 0.0))])
+
+    def test_far_apart_step_spread_is_valid(self):
+        rules = DependencyRules(DependencyConfig())
+        rules.validate_state([(0, 5, (0.0, 0.0)), (1, 0, (1000.0, 0.0))])
+
+    def test_graph_validate_delegates(self):
+        rules = DependencyRules(DependencyConfig())
+        graph = SpatioTemporalGraph(rules, {0: (0, 0), 1: (5, 0)})
+        graph.validate()  # fresh graph: all agents at step 0, valid

@@ -246,3 +246,46 @@ class TestTransactions:
                 s.incr(key)
             assert s.version(key) >= last[key]
             last[key] = s.version(key)
+
+
+class TestFaultInjection:
+    def test_retries_are_counted(self):
+        s = KVStore()
+        s.set("k", 0)
+        fired = []
+
+        def body(txn):
+            value = txn.get("k")
+            if not fired:
+                fired.append(1)
+                s.set("k", value + 1)  # out-of-band conflicting write
+            txn.set("k", value + 10)
+
+        s.transaction(body)
+        assert s.tx_retries == 1
+
+    def test_forced_conflicts_consumed_and_counted(self):
+        s = KVStore()
+        s.set("k", 0)
+        s.force_conflicts(2)
+        s.transaction(lambda txn: txn.set("k", txn.get("k") + 1))
+        assert s.injected_conflicts == 2
+        assert s.tx_retries == 2
+        assert s.get("k") == 1  # the storm is transparent to the caller
+        # The budget is spent: the next transaction commits first try.
+        s.transaction(lambda txn: txn.set("k", txn.get("k") + 1))
+        assert s.tx_retries == 2
+
+    def test_storm_exceeding_budget_raises_transaction_error(self):
+        s = KVStore()
+        s.set("k", 0)
+        s.force_conflicts(10)
+        with pytest.raises(TransactionError, match="after 3 retries"):
+            s.transaction(lambda txn: txn.set("k", 1), max_retries=3)
+        assert s.get("k") == 0  # no buffered write leaked
+        assert s.tx_retries == 3
+
+    def test_backoff_jitter_is_seeded(self):
+        a, b = KVStore(seed=9), KVStore(seed=9)
+        assert [a._rng.random() for _ in range(8)] == \
+            [b._rng.random() for _ in range(8)]

@@ -2,6 +2,7 @@
 OOO == lock-step equivalence under real concurrency."""
 
 import threading
+import time
 
 import pytest
 
@@ -216,3 +217,38 @@ class TestEnvironment:
             scheduler=SchedulerConfig(priority=False), num_workers=2)
         result = env.run(target_step=20)
         assert result.clusters_executed > 0
+
+
+class TestShutdownHygiene:
+    """The exception path must tear workers down, not leak them."""
+
+    def test_threads_reaped_after_worker_failure(self):
+        class Exploding:
+            n_agents = 2
+
+            def position(self, aid):
+                return (aid * 50, 0)
+
+            def execute(self, step, ids, client):
+                raise RuntimeError("boom")
+
+        baseline = threading.active_count()
+        sim = LiveSimulation(Exploding(), EchoLLMClient(), num_workers=4)
+        for _ in range(3):  # repeated failed runs must not accumulate
+            with pytest.raises(SchedulingError):
+                sim.run(target_step=3)
+        deadline = time.monotonic() + 5.0
+        while (threading.active_count() > baseline
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        assert threading.active_count() == baseline
+
+    def test_threads_reaped_after_clean_run(self):
+        baseline = threading.active_count()
+        sim = LiveSimulation(_program(), EchoLLMClient(), num_workers=4)
+        sim.run(target_step=5)
+        deadline = time.monotonic() + 5.0
+        while (threading.active_count() > baseline
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        assert threading.active_count() == baseline

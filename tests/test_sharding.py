@@ -15,6 +15,7 @@ from repro.core import DependencyRules, ShardedGraph, plan_regions, \
     run_replay, rules_for
 from repro.core.dependency_graph import SpatioTemporalGraph
 from repro.core.space import GraphSpace
+from repro.errors import SchedulingError
 from repro.trace.generator import generate_scale_trace
 
 
@@ -335,3 +336,46 @@ class TestScannedSlotsLocality:
         # touch only the scanner's own band neighborhood.
         assert flat.scanned_slots >= n_far // 2
         assert banded.scanned_slots <= 10 * banded.scans
+
+
+class TestShardedAbort:
+    """abort_running mirrors through every shard and the global view."""
+
+    def _pair(self):
+        rules = DependencyRules(DependencyConfig())
+        init = np.array([(0, 0), (2, 0), (5000, 0), (5002, 0)],
+                        dtype=np.int64)
+        single = SpatioTemporalGraph(rules, init)
+        sharded = ShardedGraph(rules, init, [[0, 1], [2, 3]])
+        return single, sharded
+
+    def test_abort_matches_single_graph(self):
+        single, sharded = self._pair()
+        for g in (single, sharded):
+            g.mark_running([0, 1])
+            g.mark_running([2, 3])
+            g.abort_running([2, 3])
+        for aid in range(4):
+            assert sharded.running[aid] == single.running[aid]
+            assert sharded.step[aid] == single.step[aid]
+        assert not sharded.running[2] and not sharded.running[3]
+        # Rolled-back members are redispatchable on their home shard and
+        # the still-running cluster is untouched.
+        assert sharded.build_component(2, set()) == [2, 3]
+        assert sharded.running[0] and sharded.running[1]
+
+    def test_abort_of_non_running_raises(self):
+        _, sharded = self._pair()
+        with pytest.raises(SchedulingError, match="not running"):
+            sharded.abort_running([2])
+
+    def test_abort_then_commit_round_trip(self):
+        single, sharded = self._pair()
+        for g in (single, sharded):
+            g.mark_running([0, 1])
+            g.abort_running([0, 1])
+            g.mark_running([0, 1])
+            g.commit([0, 1], {0: (0, 0), 1: (2, 0)})
+        assert sharded.snapshot() == single.snapshot()
+        assert sharded.min_step == single.min_step == 0
+        assert sharded.max_step == single.max_step == 1
