@@ -26,7 +26,8 @@ from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
 from .hotpath import (AGENT_COUNTS, BASELINE_PATH,
                       MAX_FALLBACK_SCANS, MAX_KERNEL_EVENTS_PER_CLUSTER,
-                      MIN_SCALE_RATIO, MIN_SPEEDUP, MIN_THROUGHPUT,
+                      MIN_SCALE_RATIO, MIN_SPEC_RATIO, MIN_SPEEDUP,
+                      MIN_THROUGHPUT,
                       SCALE_AGENTS, SCALE_SCENARIOS, TRAJECTORY,
                       check_report, check_scale_report,
                       format_report, format_scale_report, load_baseline,
@@ -141,6 +142,17 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="N[,N...]",
                      help="matrix cells --check must find per scenario "
                           "(default: the benchmarked agent list)")
+    hot.add_argument("--spec", action="store_true",
+                     help="also replay every cell under metropolis-spec "
+                          "and attach the speculative win/loss column "
+                          "(spec_speedup + ledger counters); with "
+                          "--check, speculative mode must stay within "
+                          "--min-spec-ratio of plain OOO on every cell "
+                          "and win on at least one")
+    hot.add_argument("--min-spec-ratio", type=float,
+                     default=MIN_SPEC_RATIO,
+                     help="per-cell speculative/plain virtual-time "
+                          "ratio floor for --spec --check")
     hot.add_argument("--scale", action="store_true",
                      help="run the scale matrix instead: a 2000-agent "
                           "reference cell plus a large tiled cell per "
@@ -258,7 +270,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_hotpath(
             scenarios=args.scenarios, agent_counts=agent_counts,
             baseline=args.baseline, history=args.history,
-            trajectory=TRAJECTORY, out=args.out)
+            trajectory=TRAJECTORY, out=args.out, spec=args.spec)
         print(format_report(report))
         if args.out is not None:
             print(f"[report written to {args.out}]")
@@ -279,7 +291,9 @@ def main(argv: list[str] | None = None) -> int:
                 required_counts=required,
                 max_kernel_events_per_cluster=(
                     args.max_kernel_events_per_cluster),
-                max_fallback_scans=args.max_fallback_scans)
+                max_fallback_scans=args.max_fallback_scans,
+                min_spec_ratio=args.min_spec_ratio if args.spec
+                else None)
             if failures:
                 for failure in failures:
                     print(f"FAIL: {failure}", file=sys.stderr)

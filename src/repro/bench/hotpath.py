@@ -131,6 +131,12 @@ MAX_KERNEL_EVENTS_PER_CLUSTER = 1.6
 #: scenario's space offers cell bucketing, so any nonzero count means
 #: the fast-path gate broke.
 MAX_FALLBACK_SCANS = 0
+#: Speculation gate: speculative mode's virtual completion time may
+#: never trail plain OOO by more than 2% on any cell (the ratio is a
+#: deterministic virtual-time quantity — no retries, no calibration)
+#: and must strictly win on at least one cell of the report, or the
+#: mode has regressed into dead weight.
+MIN_SPEC_RATIO = 0.98
 
 
 def hotpath_trace(scenario, n_agents: int, seed: int = HOTPATH_SEED):
@@ -148,8 +154,17 @@ def hotpath_trace(scenario, n_agents: int, seed: int = HOTPATH_SEED):
 
 
 def bench_one(scenario: str, n_agents: int,
-              policy: str = "metropolis") -> dict:
-    """Replay one (scenario, scale) cell; returns its report entry."""
+              policy: str = "metropolis", spec: bool = False) -> dict:
+    """Replay one (scenario, scale) cell; returns its report entry.
+
+    ``spec=True`` additionally replays the *same* trace under the
+    ``metropolis-spec`` policy and attaches the speculative win/loss
+    column: ``spec_speedup`` is the base policy's virtual completion
+    time over speculative mode's — a pure virtual-time ratio, so it is
+    deterministic and machine-independent — plus the speculation
+    ledger counters (``speculations`` / ``misspeculations`` /
+    ``squashes`` / ``spec_retires`` / ``spec_rollback_rows``).
+    """
     scn = get_scenario(scenario)
     trace = hotpath_trace(scn, n_agents)
     wall0 = time.perf_counter()
@@ -160,7 +175,7 @@ def bench_one(scenario: str, n_agents: int,
     agent_steps = trace.meta.n_agents * trace.meta.n_steps
     controller = stats.controller_time
     kernel_events = stats.extra.get("kernel_events", 0)
-    return {
+    entry = {
         "scenario": scn.name,
         "n_agents": trace.meta.n_agents,
         "n_steps": trace.meta.n_steps,
@@ -185,7 +200,27 @@ def bench_one(scenario: str, n_agents: int,
         else float("inf"),
         "wall_agent_steps_per_sec": agent_steps / wall if wall
         else float("inf"),
+        "completion_time_s": result.completion_time,
     }
+    if spec:
+        wall1 = time.perf_counter()
+        spec_result = run_replay(
+            trace, SchedulerConfig(policy="metropolis-spec",
+                                   scenario=scn.name))
+        extra = spec_result.driver_stats.extra
+        entry.update({
+            "spec_completion_time_s": spec_result.completion_time,
+            "spec_speedup": result.completion_time
+            / spec_result.completion_time
+            if spec_result.completion_time else float("inf"),
+            "spec_wall_time_s": time.perf_counter() - wall1,
+            "speculations": extra["speculations"],
+            "misspeculations": extra["misspeculations"],
+            "squashes": extra["squashes"],
+            "spec_retires": extra["spec_retires"],
+            "spec_rollback_rows": extra["rollback_rows"],
+        })
+    return entry
 
 
 def _peak_rss_mb() -> float:
@@ -398,7 +433,8 @@ def run_hotpath(scenarios: list[str] | None = None,
                 baseline: Path | str | None = None,
                 history: Path | str | None = None,
                 trajectory: tuple[tuple[str, Path], ...] = (),
-                out: Path | str | None = None) -> dict:
+                out: Path | str | None = None,
+                spec: bool = False) -> dict:
     """Benchmark every (scenario, scale) cell; write/return the report.
 
     ``baseline`` is the committed regression reference (the PR 4
@@ -406,13 +442,15 @@ def run_hotpath(scenarios: list[str] | None = None,
     against the pre-overhaul record, and ``trajectory`` attaches any
     further ``(suffix, path)`` history columns (missing files are
     skipped) — the CLI passes :data:`TRAJECTORY` so the vs-PR2 and
-    vs-preoverhaul columns persist across baselines.
+    vs-preoverhaul columns persist across baselines. ``spec`` attaches
+    the speculative-mode win/loss column to every cell (see
+    :func:`bench_one`).
     """
     names = scenarios or scenario_names()
     # Calibrate before the bench loop heats the machine up; best-of-N
     # approximates the unthrottled speed either way.
     calibration = calibration_score()
-    entries = [bench_one(name, n, policy=policy)
+    entries = [bench_one(name, n, policy=policy, spec=spec)
                for name in names for n in sorted(agent_counts)]
     report = {
         "benchmark": "hotpath",
@@ -420,6 +458,7 @@ def run_hotpath(scenarios: list[str] | None = None,
         "agent_counts": sorted(agent_counts),
         "scenarios": list(names),
         "calibration_ops_per_sec": calibration,
+        "spec": spec,
         "entries": entries,
     }
     baseline_report = load_baseline(baseline)
@@ -516,7 +555,8 @@ def retry_perf_cells(report: dict,
             if label not in retried:
                 retried.append(label)
             fresh = bench_one(entry["scenario"], entry["n_agents"],
-                              policy=entry["policy"])
+                              policy=entry["policy"],
+                              spec="spec_speedup" in entry)
             if fresh["agent_steps_per_sec"] > entry["agent_steps_per_sec"]:
                 entry.clear()
                 entry.update(fresh)
@@ -532,7 +572,8 @@ def check_report(report: dict,
                  min_speedup: float = MIN_SPEEDUP,
                  required_counts: tuple[int, ...] = (),
                  max_kernel_events_per_cluster: float | None = None,
-                 max_fallback_scans: int | None = None) -> list[str]:
+                 max_fallback_scans: int | None = None,
+                 min_spec_ratio: float | None = None) -> list[str]:
     """The CI gate: returns human-readable failures (empty = pass).
 
     ``required_counts`` additionally demands a report entry per
@@ -540,9 +581,15 @@ def check_report(report: dict,
     drop out of the matrix. ``max_kernel_events_per_cluster`` and
     ``max_fallback_scans`` (both optional) pin the controller's event
     churn and the bucketed fast path: entries missing the counters fail
-    loudly rather than passing silently.
+    loudly rather than passing silently. ``min_spec_ratio`` gates the
+    speculative-mode column: every cell's ``spec_speedup`` must clear
+    the ratio (no cell may regress past it) and at least one cell must
+    strictly beat 1.0 — speculation has to win somewhere or it is dead
+    weight. Both spec checks are pure virtual-time comparisons, so
+    they are exempt from perf retries.
     """
     failures = []
+    spec_wins = 0
     present = {(e["scenario"], e["n_agents"]) for e in report["entries"]}
     for scenario in report.get("scenarios", []):
         for count in required_counts:
@@ -591,6 +638,25 @@ def check_report(report: dict,
                     f"{label}: {fb} linear fallback scans (cap "
                     f"{max_fallback_scans}) — the bucketed fast path "
                     f"gate broke")
+        if min_spec_ratio is not None:
+            ratio = entry.get("spec_speedup")
+            if ratio is None:
+                failures.append(
+                    f"{label}: spec_speedup missing from the report "
+                    f"entry — run the bench with speculation cells "
+                    f"enabled (--spec)")
+            elif ratio < min_spec_ratio:
+                failures.append(
+                    f"{label}: speculative mode at {ratio:.4f}x of "
+                    f"plain OOO, below the {min_spec_ratio:.2f}x "
+                    f"no-regression bar")
+            elif ratio > 1.0:
+                spec_wins += 1
+    if min_spec_ratio is not None and report["entries"] and not spec_wins:
+        failures.append(
+            "speculative mode wins on no cell of the report "
+            "(spec_speedup <= 1.0 everywhere) — the mode regressed "
+            "into dead weight")
     return failures
 
 
@@ -605,17 +671,25 @@ def gate_hotpath(report: dict,
 
 
 def format_report(report: dict) -> str:
-    """Fixed-width table for terminal output."""
+    """Fixed-width table for terminal output.
+
+    The ``spec`` column is speculative mode's virtual-time win ratio
+    over plain OOO for the cell (>1 = speculation wins), shown when
+    the report carries speculation cells.
+    """
+    with_spec = any("spec_speedup" in e for e in report["entries"])
     header = (f"{'scenario':<14}{'agents':>7}{'steps':>7}"
               f"{'ctrl-steps/s':>14}{'wall-steps/s':>14}"
               f"{'clustering':>11}{'graph':>9}{'dispatch':>9}"
               f"{'rounds':>8}{'ev/cl':>7}"
-              f"{'vs-base':>9}{'vs-pr2':>8}{'vs-pre':>8}")
+              + (f"{'spec':>9}" if with_spec else "")
+              + f"{'vs-base':>9}{'vs-pr2':>8}{'vs-pre':>8}")
     lines = [header, "-" * len(header)]
     for e in report["entries"]:
         speedup = e.get("speedup_vs_baseline")
         pr2 = e.get("speedup_vs_pr2")
         pre = e.get("speedup_vs_preoverhaul")
+        spec = e.get("spec_speedup")
         lines.append(
             f"{e['scenario']:<14}{e['n_agents']:>7}{e['n_steps']:>7}"
             f"{e['agent_steps_per_sec']:>14.0f}"
@@ -625,6 +699,8 @@ def format_report(report: dict) -> str:
             f"{e['time_dispatch_s']:>8.3f}s"
             f"{e['controller_rounds']:>8}"
             f"{e.get('kernel_events_per_cluster', 0.0):>7.2f}"
+            + ("" if not with_spec else
+               f"{spec:>8.4f}x" if spec is not None else f"{'-':>9}")
             + (f"{speedup:>8.2f}x" if speedup is not None else
                f"{'-':>9}")
             + (f"{pr2:>7.2f}x" if pr2 is not None else f"{'-':>8}")

@@ -194,7 +194,18 @@ class SchedulerConfig:
     interactive_horizon: int = 30
     #: Maximum blocked clusters executing speculatively at once (§6
     #: speculative execution; used by the ``metropolis-spec`` policy).
+    #: ``0`` disables speculation (exact plain-metropolis behavior).
     speculation_budget: int = 8
+    #: Rank speculation candidates by critical-path contribution
+    #: (wake-step distance x cluster size — Table 1's interaction
+    #: priority inverted into a scheduling signal) instead of launching
+    #: in agent-id order. Set False for the ablation baseline.
+    speculation_priority: bool = True
+    #: Adaptive speculation depth: the live concurrent-speculation limit
+    #: starts at ``speculation_budget`` and halves whenever the recent
+    #: misspeculation+squash rate climbs past 1/2, growing back one slot
+    #: per clean window. Set False to pin the limit at the budget.
+    speculation_adaptive: bool = True
     #: Region-sharded controller state (million-agent scaling): split the
     #: map into at most this many provably-independent regions, each with
     #: its own dependency-graph shard. ``0``/``1`` keeps the single

@@ -130,7 +130,7 @@ class MetropolisDriver:
         #: (step + 1, agent) rows in one flat fancy index — no per-agent
         #: tuple lists are ever materialized.
         self._pos_sa = trace.positions_by_step
-        self._pos_flat = np.ascontiguousarray(self._pos_sa).reshape(-1, 2)
+        self._pos_flat = trace.positions_flat
         shard_members = plan_regions(trace, self.rules, config.shards) \
             if config.shards >= 2 else None
         if shard_members is not None:
@@ -401,12 +401,16 @@ class MetropolisDriver:
             del self._running_info[cid]
             self._queue_commit(info[2], info[1])
 
-    def _queue_commit(self, step: int, members: list[int]) -> None:
+    def _queue_commit(self, step: int, members: list[int],
+                      rows: np.ndarray | None = None) -> None:
         """Buffer a finished cluster for its instant's controller round.
 
         Clusters finishing at the same virtual instant share one round
         event at ``now + cluster_commit``: the round retires the whole
-        batch through one graph commit, then dispatches.
+        batch through one graph commit, then dispatches. ``rows`` is an
+        optional pre-gathered ``(len(members), 2)`` next-position array
+        (the speculative driver hands over its per-record row snapshot
+        so retirement never re-reads the trace store).
         """
         due = self.kernel.now + self.config.overhead.cluster_commit
         batch = self._round_pending.get(due)
@@ -415,7 +419,7 @@ class MetropolisDriver:
             self._kernel_events += 1
             self.kernel.call_in(self.config.overhead.cluster_commit,
                                 self._controller_round_event, due)
-        batch.append((step, members))
+        batch.append((step, members, rows))
 
     def _controller_round_event(self, due: float) -> None:
         batch = self._round_pending.pop(due)
@@ -424,21 +428,34 @@ class MetropolisDriver:
         self._retire_commits(batch)
         self._flush_controller_round()
 
-    def _retire_commits(self, batch: list[tuple[int, list[int]]]) -> None:
+    def _retire_commits(self,
+                        batch: list[tuple[int, list[int], np.ndarray | None]]
+                        ) -> None:
         """Apply every cluster of the batch in one vectorized graph commit."""
         t0 = perf_counter()
         n = self.graph.n_agents
         members_all: list[int] = []
-        rows: list[int] = []
-        for step, members in batch:
-            base = (step + 1) * n
+        for _, members, _ in batch:
             members_all += members
-            for aid in members:
-                rows.append(base + aid)
         graph = self.graph
-        # One flat fancy-index gather from the step-major store replaces
-        # the per-member position dict of the tuple-list era.
-        result = graph.commit(members_all, self._pos_flat[rows])
+        if all(snap is None for _, _, snap in batch):
+            # One flat fancy-index gather from the step-major store
+            # replaces the per-member position dict of the tuple-list era.
+            rows: list[int] = []
+            for step, members, _ in batch:
+                base = (step + 1) * n
+                for aid in members:
+                    rows.append(base + aid)
+            pos_rows = self._pos_flat[rows]
+        else:
+            # Speculative retirements carry their launch-time row
+            # snapshots; stitch per-cluster arrays in batch order.
+            parts = [snap if snap is not None else
+                     self._pos_flat[[(step + 1) * n + aid
+                                     for aid in members]]
+                     for step, members, snap in batch]
+            pos_rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        result = graph.commit(members_all, pos_rows)
         spread = graph.max_step - graph.min_step
         if spread > self.stats.max_step_spread:
             self.stats.max_step_spread = spread

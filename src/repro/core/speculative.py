@@ -11,26 +11,79 @@ implements it for replay mode:
 * commits stay **in order**: the cluster retires only once its blockers
   clear, so the dependency graph's conservative invariants — and every
   other agent's scheduling — are untouched;
-* a **race detector** decides at retire time whether the speculation was
-  safe. In replay the detector is an oracle lookahead over the trace
-  (would any blocker's true trajectory have entered a member's perception
-  radius before catching up?); a live deployment would track read/write
-  sets instead — exactly the scalability cost §6 warns about.
-  Misspeculation re-executes the chains at full cost before retiring;
-* speculation can also be **squashed**: dispatching a cluster requires it
-  to be closed under coupling, and a laggard that commits *into* coupling
-  range of a speculating cluster joins its synchrony group — the members
-  return to ready and execute jointly through the normal path (their
-  speculative work is wasted, like a squashed pipeline).
+* a **race detector** decides whether the speculation was safe. In
+  replay the detector is an oracle lookahead over the step-major trace
+  store (would any blocker's true trajectory have entered a member's
+  perception radius before catching up?); a live deployment would track
+  read/write sets instead — exactly the scalability cost §6 warns
+  about;
+* speculation can also be killed in flight: dispatching a cluster
+  requires it to be closed under coupling, and a laggard that commits
+  *into* coupling range of a speculating cluster joins its synchrony
+  group — the members return to ready and execute jointly through the
+  normal path. The launch-time oracle verdict splits the accounting: a
+  killed record whose blocker truly enters a member's radius was
+  computed against stale inputs and counts as a **misspeculation**; an
+  oracle-clean kill is a conservative **squash** (wasted but correct
+  work, like a squashed pipeline). Because the §3.2 sphere grows at
+  exactly ``max_vel`` per gap step, a genuinely racing blocker can
+  never release its victim before coupling — so coupling, not retire,
+  is where wrong speculation dies (the retire-side check stays as a
+  terminal backstop).
 
-The win is latency hiding: chain execution overlaps with blocked waiting,
-shrinking waiting on the critical path while preserving outcomes
-bit-for-bit.
+Three design points make the mode a measured win rather than a sketch:
+
+**O(changed rows) rollback.** Each speculation record carries one
+array-slice snapshot of its members' next-step rows, gathered from the
+trace's step-major position store at launch. That snapshot is the
+entire speculative state delta: retiring hands the rows straight to the
+batched graph commit (no re-gather), and undoing — squash or
+misspeculation — just drops the rows and re-opens the members. Nothing
+is replayed; ``stats.extra["rollback_rows"]`` counts exactly the rows
+ever restored, and the ledger identity ``spec_launched_members ==
+spec_retired_members + rollback_rows`` is fuzz-enforced.
+
+**Priority-driven launch.** The flat first-come budget is replaced by a
+critical-path ranking: among blocked candidate clusters, score =
+wake-step distance x cluster size — the paper's Table 1 interaction-
+priority ablation inverted into a scheduling signal. The wake bound is
+read off the pair wake steps the zero-rescan graph already maintains
+(:meth:`SpatioTemporalGraph.invocation_distance`), so ranking costs a
+few dict lookups per candidate. The clusters provably waiting longest,
+weighted by how much latency speculation can hide, launch first.
+
+**Adaptive depth.** The live concurrent-speculation limit starts at
+``speculation_budget`` and reacts to outcomes in windows: when more
+than half of a recent window ended badly (misspeculated or squashed)
+the limit halves; a clean window grows it back one slot. Misspeculation
+is *terminal* — the record rolls back and the members re-execute
+through the normal path — so every speculation ends in exactly one of
+retire / misspeculation / squash and ``speculations == spec_retires +
+misspeculations + squashes`` holds as a hard invariant.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from .metropolis import MetropolisDriver
+
+
+class _SpecRecord:
+    """One in-flight speculation: members, step, and the row snapshot."""
+
+    __slots__ = ("members", "step", "chains_left", "will_fail", "rows")
+
+    def __init__(self, members: list[int], step: int, will_fail: bool,
+                 rows: np.ndarray) -> None:
+        self.members = members
+        self.step = step
+        self.chains_left = len(members)
+        self.will_fail = will_fail
+        #: ``(len(members), 2)`` next-step positions gathered from the
+        #: step-major trace store at launch — the record's whole
+        #: speculative state delta (see module docstring).
+        self.rows = rows
 
 
 class SpeculativeMetropolisDriver(MetropolisDriver):
@@ -40,17 +93,37 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
     #: priority (served only when the engine has slack).
     _SPEC_PRIORITY_OFFSET = 1e6
 
+    #: Outcomes per adaptive-depth decision window.
+    _ADAPT_WINDOW = 8
+
+    #: Fraction of the decode saturation knee speculation may fill:
+    #: sequences below the knee still tax every iteration with their KV
+    #: reads, so latency hiding stops well short of the flip point.
+    #: Measured on the hotpath matrix: 0.5 still loses ~3% on the
+    #: 1000-agent straggler phase; 0.25 holds every cell at >= 1.0x.
+    _SLACK_FRACTION = 0.25
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         #: cluster id -> speculation record.
-        self._spec: dict[int, dict] = {}
+        self._spec: dict[int, _SpecRecord] = {}
         self._spec_members: dict[int, int] = {}  # aid -> cluster id
         #: Component BFS must not absorb speculating agents.
         self._exclude_hook = self._clustering_exclude
-        self.stats.extra["speculations"] = 0
-        self.stats.extra["misspeculations"] = 0
-        self.stats.extra["squashes"] = 0
-        self.stats.extra["spec_retires"] = 0
+        #: Live concurrent-speculation limit (adaptive depth controller;
+        #: capped by ``speculation_budget``, floored at 1 while enabled).
+        self._depth = max(0, self.config.speculation_budget)
+        self._win_total = 0
+        self._win_bad = 0
+        extra = self.stats.extra
+        extra["speculations"] = 0
+        extra["misspeculations"] = 0
+        extra["squashes"] = 0
+        extra["spec_retires"] = 0
+        extra["spec_launched_members"] = 0
+        extra["spec_retired_members"] = 0
+        extra["rollback_rows"] = 0
+        extra["spec_depth_backoffs"] = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -60,92 +133,108 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         # Squash speculations that newly-ready agents are coupled to: the
         # joint cluster must execute together through the normal path.
         dirty = set(dirty)
-        for aid in list(dirty):
-            if aid in self.ready:
-                dirty |= self._squash_coupled_to(aid)
-        if self.config.speculation_budget:
+        if self._spec_members:
+            for aid in list(dirty):
+                if aid in self.ready:
+                    dirty |= self._squash_coupled_to(aid)
+        if self._depth:
             self._launch_speculations(dirty)
         super()._controller_round(dirty)
 
     def _squash_coupled_to(self, aid: int) -> set[int]:
-        """Squash any speculation coupled (transitively) to ready ``aid``."""
-        freed: set[int] = set()
-        step = self.graph.step[aid]
-        frontier = [aid]
-        seen = {aid}
-        while frontier:
-            x = frontier.pop()
-            for other in self.graph.index.query(
-                    self.graph.pos[x], self.rules.couple_threshold):
-                if other in seen or self.graph.step[other] != step:
-                    continue
-                seen.add(other)
-                cid = self._spec_members.get(other)
-                if cid is not None:
-                    freed |= self._request_squash(cid)
-                    frontier.append(other)
-                elif other in self.ready:
-                    frontier.append(other)
-        return freed
+        """Squash any speculation coupled (transitively) to ready ``aid``.
 
-    def _request_squash(self, cid: int) -> set[int]:
-        """Squash ``cid`` immediately; returns the freed members.
-
-        In-flight chains are abandoned: their requests keep burning GPU
-        (as a real squash does) but their completions become stale
-        no-ops, and the members re-execute through the normal path.
+        The coupled closure is the graph's own component BFS with no
+        exclusion — speculating agents are not running, so the fresh
+        BFS reaches them exactly where the hand-rolled frontier walk
+        used to.
         """
-        spec = self._spec.pop(cid)
-        members = set(spec["members"])
-        for m in members:
-            del self._spec_members[m]
-            self.ready.add(m)
-        # The freed members rejoin the ready pool: any memoized
-        # component within coupling range may now have to absorb them.
-        graph = self.graph
-        graph.invalidate_components(members)
-        threshold = self.rules.couple_threshold
-        for m in members:
-            graph.invalidate_components(
-                graph.index.query(graph.pos[m], threshold))
-        self.stats.extra["squashes"] += 1
-        return members
+        freed: set[int] = set()
+        for m in self.graph.build_component(aid, set(), None, False):
+            cid = self._spec_members.get(m)
+            if cid is not None:
+                # The launch-time oracle verdict classifies the kill: a
+                # record whose blocker really does enter a member's
+                # perception radius was computed against stale inputs
+                # (misspeculation); an oracle-clean record is merely a
+                # conservative discard (squash). §3.2's safety envelope
+                # makes the retire-side race unreachable — a racing
+                # blocker provably keeps its victim blocked until they
+                # couple, so coupling is where wrong speculation dies.
+                if self._spec[cid].will_fail:
+                    self.stats.extra["misspeculations"] += 1
+                else:
+                    self.stats.extra["squashes"] += 1
+                self._spec_outcome(bad=True)
+                freed |= self._rollback(cid)
+        return freed
 
     def _clustering_exclude(self, aid: int) -> bool:
         return aid in self._spec_members
 
     def _launch_speculations(self, dirty: set[int]) -> None:
-        budget = self.config.speculation_budget
+        slots = self._depth - len(self._spec)
+        if slots <= 0:
+            return
+        # Engine-slack gate: speculative chains are only ~free while
+        # decode stays bandwidth-bound. In-flight speculation already
+        # counts toward each replica's outstanding load, so the budget
+        # is self-limiting.
+        slack = self.engine.spec_slack(self._SLACK_FRACTION)
+        if slack <= 0:
+            return
+        graph = self.graph
+        ready = self.ready
+        spec_members = self._spec_members
+        blocked_by = graph.blocked_by
+        use_priority = self.config.speculation_priority
         visited: set[int] = set()
+        candidates: list[tuple[float, int, list[int]]] = []
         for aid in sorted(dirty):
-            if len(self._spec) >= budget:
-                return
-            if (aid not in self.ready or aid in visited
-                    or aid in self._spec_members):
+            if aid in visited or aid not in ready or aid in spec_members:
                 continue
             cluster = self._collect_cluster(aid, visited)
-            if any(m in self._spec_members for m in cluster):
+            if any(m in spec_members for m in cluster):
                 continue
-            if not any(self.graph.is_blocked(m) for m in cluster):
+            if not any(blocked_by[m] for m in cluster):
                 continue  # dispatchable normally; leave to the base round
+            if use_priority:
+                # Critical-path contribution: how long the cluster must
+                # provably wait (max wake-step bound over members) times
+                # how much latency speculating hides (cluster size).
+                wake = max(graph.invocation_distance(m) for m in cluster)
+                score = wake * len(cluster)
+            else:
+                score = 0.0
+            candidates.append((score, aid, cluster))
+        if use_priority and len(candidates) > slots:
+            candidates.sort(key=lambda c: (-c[0], c[1]))
+        for _, _, cluster in candidates:
+            if slots <= 0:
+                break
+            if len(cluster) > slack:
+                continue  # would push a replica past the decode knee
+            slots -= 1
+            slack -= len(cluster)
             self._start_speculation(cluster)
 
     def _start_speculation(self, cluster: list[int]) -> None:
         # Members leave the ready pool; their memoized component (if
         # any) no longer reflects reality.
-        self.graph.invalidate_components(cluster)
-        step = self.graph.step[cluster[0]]
+        graph = self.graph
+        graph.invalidate_components(cluster)
+        step = graph.step[cluster[0]]
+        marr = np.asarray(cluster, dtype=np.int64)
+        rows = self._pos_flat[(step + 1) * graph.n_agents + marr]
         cid = self._cluster_seq = self._cluster_seq + 1
-        self._spec[cid] = {
-            "members": cluster,
-            "step": step,
-            "chains_left": len(cluster),
-            "will_fail": self._lookahead_detects_race(cluster, step),
-        }
+        self._spec[cid] = _SpecRecord(
+            cluster, step, self._lookahead_detects_race(cluster, step), rows)
         for m in cluster:
             self._spec_members[m] = cid
             self.ready.discard(m)
-        self.stats.extra["speculations"] += 1
+        extra = self.stats.extra
+        extra["speculations"] += 1
+        extra["spec_launched_members"] += len(cluster)
         priority = self._SPEC_PRIORITY_OFFSET + step
         self._launch_spec_chains(cid, cluster, step, priority)
 
@@ -171,25 +260,44 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
     def _lookahead_detects_race(self, cluster: list[int], step: int) -> bool:
         radius = self.trace.meta.radius_p
         horizon = min(step + 1, self.trace.meta.n_steps)
+        graph = self.graph
         space = self.rules.space  # scenario metric (hops on graph worlds)
+        within_mat = getattr(space, "within_mat", None)
+        if within_mat is None:
+            # Graph metric: hop distances need per-pair BFS lookups.
+            for m in cluster:
+                pos_m = self.trace.pos(m, step)
+                for b in graph.blockers_of(m):
+                    for s in range(graph.step[b], horizon):
+                        if space.dist(self.trace.pos(b, s), pos_m) <= radius:
+                            return True
+            return False
+        # Coordinate metrics vectorize over the step-major store: each
+        # blocker contributes one trajectory slice, checked against the
+        # member's tile in a single masked reduction.
+        pos_sa = self._pos_sa
         for m in cluster:
-            pos_m = self.trace.pos(m, step)
-            for b in self.graph.blockers_of(m):
-                for s in range(self.graph.step[b], horizon):
-                    if space.dist(self.trace.pos(b, s), pos_m) <= radius:
-                        return True
+            mx, my = (int(v) for v in pos_sa[step, m])
+            for b in graph.blockers_of(m):
+                s0 = graph.step[b]
+                if s0 >= horizon:
+                    continue
+                traj = pos_sa[s0:horizon, b].astype(np.int64)
+                if within_mat(traj[:, 0] - mx, traj[:, 1] - my,
+                              radius).any():
+                    return True
         return False
 
     # ------------------------------------------------------------------
-    # retirement
+    # retirement / rollback
     # ------------------------------------------------------------------
 
     def _spec_chain_done(self, cid: int, aid: int, step: int) -> None:
-        spec = self._spec.get(cid)
-        if spec is None:
+        rec = self._spec.get(cid)
+        if rec is None:
             return  # squashed — stale callback of an abandoned chain
-        spec["chains_left"] -= 1
-        if spec["chains_left"] == 0:
+        rec.chains_left -= 1
+        if rec.chains_left == 0:
             self._try_retire(cid)
 
     def _try_retire(self, cid: int) -> None:
@@ -203,32 +311,87 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             # dispatch members the round must still be able to absorb —
             # the post-round sweep retries.
             return
-        spec = self._spec.get(cid)
-        if spec is None or spec["chains_left"] > 0:
+        rec = self._spec.get(cid)
+        if rec is None or rec.chains_left > 0:
             return
-        members = spec["members"]
-        if any(self.graph.compute_blockers(m) for m in members):
+        members = rec.members
+        # Maintained blocker sets, not re-scans: commits can only
+        # *release* blocked edges toward larger-step agents (§3.3), so a
+        # waiting member's ``blocked_by`` is exact — the same source
+        # ``mark_running`` enforces below.
+        blocked_by = self.graph.blocked_by
+        if any(blocked_by[m] for m in members):
             return  # still waiting for laggards
-        if spec["will_fail"]:
-            # Misspeculation: re-execute the chains at full cost.
+        if rec.will_fail:
+            # Misspeculation is terminal: roll the record back and let
+            # the members re-execute at full cost through the normal
+            # path (they are unblocked now, so the round dispatches
+            # them immediately).
             self.stats.extra["misspeculations"] += 1
-            spec["will_fail"] = False
-            spec["chains_left"] = len(members)
-            self._launch_spec_chains(cid, members, spec["step"],
-                                     float(spec["step"]))
+            self._spec_outcome(bad=True)
+            self._controller_round(self._rollback(cid))
             return
-        # Retire in order: hand the cluster to the normal commit path.
+        # Retire in order: hand the cluster to the normal commit path,
+        # feeding the launch-time row snapshot straight to the batched
+        # graph commit.
         self._spec.pop(cid)
         for m in members:
             del self._spec_members[m]
-        self.stats.extra["spec_retires"] += 1
-        self.stats.tasks_completed += len(members)
+        extra = self.stats.extra
+        extra["spec_retires"] += 1
+        extra["spec_retired_members"] += len(members)
+        self._spec_outcome(bad=False)
+        stats = self.stats
+        stats.tasks_completed += len(members)
         self.graph.mark_running(members)
-        self.stats.clusters_dispatched += 1
-        self.stats.cluster_size_sum += len(members)
+        stats.clusters_dispatched += 1
+        stats.cluster_size_sum += len(members)
         self._running_clusters += 1
         self._busy_workers += 1
-        self._queue_commit(spec["step"], members)
+        self._queue_commit(rec.step, members, rec.rows)
+
+    def _rollback(self, cid: int) -> set[int]:
+        """Undo one speculation record in O(its rows).
+
+        Drops the record's row snapshot (counted in ``rollback_rows``)
+        and returns the members to the ready pool. Memoized coupling
+        components built while the members were hidden from clustering
+        are stale — any ready agent within coupling range may now have
+        to absorb them — so the members' neighborhoods are invalidated.
+        """
+        rec = self._spec.pop(cid)
+        members = rec.members
+        for m in members:
+            del self._spec_members[m]
+            self.ready.add(m)
+        self.stats.extra["rollback_rows"] += len(rec.rows)
+        graph = self.graph
+        graph.invalidate_components(members)
+        threshold = self.rules.couple_threshold
+        for m in members:
+            graph.invalidate_components(
+                graph.index.query(graph.pos[m], threshold))
+        return set(members)
+
+    def _spec_outcome(self, bad: bool) -> None:
+        """Feed one terminal outcome to the adaptive depth controller."""
+        if not self.config.speculation_adaptive:
+            return
+        self._win_total += 1
+        if bad:
+            self._win_bad += 1
+        if self._win_total < self._ADAPT_WINDOW:
+            return
+        if self._win_bad * 2 > self._win_total:
+            new_depth = max(1, self._depth // 2)
+            if new_depth < self._depth:
+                self._depth = new_depth
+                self.stats.extra["spec_depth_backoffs"] += 1
+        elif self._win_bad * 4 <= self._win_total \
+                and self._depth < self.config.speculation_budget:
+            self._depth += 1
+        self._win_total = 0
+        self._win_bad = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -245,6 +408,10 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         if self._spec:
             return  # speculative work in flight still makes progress
         super()._check_progress()
+
+    def _sync_stats(self) -> None:
+        super()._sync_stats()
+        self.stats.extra["spec_depth"] = self._depth
 
     def finished(self) -> bool:
         return super().finished() and not self._spec

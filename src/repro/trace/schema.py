@@ -113,6 +113,7 @@ class Trace:
                     f"{(meta.n_agents, meta.n_steps + 1, 2)}")
             self._pos_sa = np.ascontiguousarray(
                 positions.transpose(1, 0, 2))
+        self._pos_flat: np.ndarray | None = None
         n = len(call_step)
         for name, arr in (("call_agent", call_agent),
                           ("call_func", call_func), ("call_in", call_in),
@@ -211,6 +212,20 @@ class Trace:
     def positions_by_step(self) -> np.ndarray:
         """The canonical step-major ``int[n_steps + 1, n_agents, 2]``."""
         return self._pos_sa
+
+    @property
+    def positions_flat(self) -> np.ndarray:
+        """``int[(n_steps + 1) * n_agents, 2]`` row view of the store.
+
+        Row ``step * n_agents + agent`` is that agent's tile at the
+        start of ``step`` — the replay drivers' commit gathers and the
+        speculative driver's per-record row snapshots index this one
+        shared array instead of each rebuilding their own copy.
+        """
+        flat = self._pos_flat
+        if flat is None:
+            self._pos_flat = flat = self._pos_sa.reshape(-1, 2)
+        return flat
 
     def step_positions(self, step: int) -> np.ndarray:
         """Contiguous ``int[n_agents, 2]`` slice at the start of ``step``."""

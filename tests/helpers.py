@@ -1,10 +1,115 @@
-"""Test utilities: compact synthetic traces with full structural control."""
+"""Test utilities: compact synthetic traces and seeded world builders
+shared across the scheduler, sharding, fault, and speculation suites."""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro._util import FastRng
+from repro.config import FaultPolicy
+from repro.core.space import GraphSpace
 from repro.trace.schema import Trace, TraceMeta
+
+
+def trajectory_trace(trajectories, chains, *, radius_p: float = 4.0,
+                     width: int = 64, height: int = 64,
+                     seed: int = 0) -> Trace:
+    """Fully deterministic trace from explicit per-agent trajectories.
+
+    ``trajectories``: list indexed by agent id; each entry is either a
+    single ``(x, y)`` (static agent) or a list of ``n_steps + 1``
+    positions walking at most ``max_vel`` per step.
+    ``chains``: list of ``(calls_per_step, prompt_tokens, out_tokens)``
+    per agent — heavier chains make that agent a laggard.
+    """
+    n_agents = len(trajectories)
+    n_steps = max(len(t) - 1 for t in trajectories
+                  if not isinstance(t, tuple))
+    positions = np.zeros((n_agents, n_steps + 1, 2), dtype=np.int16)
+    for aid, traj in enumerate(trajectories):
+        if isinstance(traj, tuple):
+            positions[aid, :, :] = traj
+        else:
+            assert len(traj) == n_steps + 1
+            positions[aid, :, :] = traj
+    steps, agents, funcs, ins, outs = [], [], [], [], []
+    for aid, (k, n_in, n_out) in enumerate(chains):
+        for s in range(n_steps):
+            for c in range(k):
+                steps.append(s)
+                agents.append(aid)
+                funcs.append(c % 10)
+                ins.append(n_in)
+                outs.append(n_out)
+    meta = TraceMeta(n_agents=n_agents, n_steps=n_steps, seed=seed,
+                     width=width, height=height, radius_p=radius_p)
+    return Trace(meta, positions,
+                 np.asarray(steps, dtype=np.int32),
+                 np.asarray(agents, dtype=np.int32),
+                 np.asarray(funcs, dtype=np.int16),
+                 np.asarray(ins, dtype=np.int32),
+                 np.asarray(outs, dtype=np.int32))
+
+
+def grid_positions(rng: FastRng, n: int, *, x_lo: int = 40,
+                   x_hi: int = 120, y_lo: int = 0,
+                   y_hi: int = 60) -> dict:
+    """Seeded agent positions spanning several fine cells (and region
+    boundaries), so commit fuzzes exercise step-bucket migration."""
+    return {i: (rng.integers(x_lo, x_hi), rng.integers(y_lo, y_hi))
+            for i in range(n)}
+
+
+def grid_moves(pos):
+    """The five Manhattan move candidates (stay + 4-neighborhood) used
+    by every coordinate-metric commit fuzz; respects max_vel=1."""
+    x, y = pos
+    return [(x, y), (x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+
+
+def ring_space(v: int, chords: int = 0, seed: int = 0) -> GraphSpace:
+    """A v-node ring with optional random chords, as a GraphSpace."""
+    rng = FastRng(seed)
+    nodes = [(i, 0) for i in range(v)]
+    adj = {node: set() for node in nodes}
+    for i in range(v):
+        adj[nodes[i]].add(nodes[(i + 1) % v])
+        adj[nodes[(i + 1) % v]].add(nodes[i])
+    for _ in range(chords):
+        a, b = rng.integers(0, v), rng.integers(0, v)
+        if a != b:
+            adj[nodes[a]].add(nodes[b])
+            adj[nodes[b]].add(nodes[a])
+    return GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()})
+
+
+def tree_chord_space(rng: FastRng, v: int):
+    """A random connected graph: spanning tree plus v//2 chord edges.
+
+    Returns ``(space, adj)`` — the adjacency dict doubles as the move
+    candidate source (``[pos, *adj[pos]]`` = stay or one hop).
+    """
+    nodes = [(i, 0) for i in range(v)]
+    adj = {node: set() for node in nodes}
+    for i in range(1, v):  # random tree keeps it connected
+        j = rng.integers(0, i)
+        adj[nodes[i]].add(nodes[j])
+        adj[nodes[j]].add(nodes[i])
+    for _ in range(v // 2):  # extra chords make cycles
+        a, b = rng.integers(0, v), rng.integers(0, v)
+        if a != b:
+            adj[nodes[a]].add(nodes[b])
+            adj[nodes[b]].add(nodes[a])
+    space = GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()})
+    return space, adj
+
+
+def fast_fault_policy(**overrides) -> FaultPolicy:
+    """FaultPolicy with near-zero backoffs so retry paths run fast."""
+    defaults = dict(backoff_base=0.0001, backoff_max=0.001,
+                    watchdog_timeout=30.0, worker_join_grace=2.0)
+    defaults.update(overrides)
+    return FaultPolicy(**defaults)
 
 
 def random_trace(seed: int, n_agents: int = 6, n_steps: int = 40,

@@ -9,7 +9,7 @@ import time
 
 import pytest
 
-from repro.config import FaultPolicy, SchedulerConfig, ServingConfig
+from repro.config import SchedulerConfig, ServingConfig
 from repro.devent import Kernel
 from repro.errors import (ConfigError, LLMCallError, SchedulingError,
                           ServingError, TransientLLMError)
@@ -19,12 +19,7 @@ from repro.faults import (ChaosClient, CircuitBreaker, FallbackLLMClient,
 from repro.live import EchoLLMClient, LiveSimulation
 from repro.serving import ServingEngine
 
-
-def _fast_policy(**overrides) -> FaultPolicy:
-    defaults = dict(backoff_base=0.0001, backoff_max=0.001,
-                    watchdog_timeout=30.0, worker_join_grace=2.0)
-    defaults.update(overrides)
-    return FaultPolicy(**defaults)
+from helpers import fast_fault_policy as _fast_policy
 
 
 class TestFaultSchedule:

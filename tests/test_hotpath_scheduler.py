@@ -15,8 +15,10 @@ from repro.config import DependencyConfig
 from repro.core import DependencyRules
 from repro.core.clustering import ClusterCache, SpatialIndex
 from repro.core.dependency_graph import SpatioTemporalGraph
-from repro.core.space import EuclideanSpace, GraphSpace
+from repro.core.space import EuclideanSpace
 from repro.errors import CausalityViolation, SchedulingError
+
+from helpers import grid_moves, grid_positions, tree_chord_space
 
 
 class DictReferenceGraph:
@@ -248,17 +250,8 @@ class TestGraphMatchesReferenceModel:
     def test_randomized_commit_order(self, metric, band_size, seed, n):
         rng = FastRng(seed)
         rules = DependencyRules(DependencyConfig(metric=metric))
-        # Span several fine cells and straddle region boundaries so
-        # commits exercise step-bucket migration.
-        positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
-                     for i in range(n)}
-
-        def moves(pos):
-            x, y = pos
-            return [(x, y), (x + 1, y), (x - 1, y), (x, y + 1),
-                    (x, y - 1)]
-
-        _run_commit_fuzz(rules, positions, moves, rng, n,
+        positions = grid_positions(rng, n)
+        _run_commit_fuzz(rules, positions, grid_moves, rng, n,
                          band_size=band_size)
 
     @settings(max_examples=20, deadline=None)
@@ -269,22 +262,11 @@ class TestGraphMatchesReferenceModel:
         path, the vectorized bucket_mat bookkeeping, and graph-native
         components must all match the dict reference exactly."""
         rng = FastRng(seed)
-        nodes = [(i, 0) for i in range(v)]
-        adj = {node: set() for node in nodes}
-        for i in range(1, v):  # random tree keeps it connected
-            j = rng.integers(0, i)
-            adj[nodes[i]].add(nodes[j])
-            adj[nodes[j]].add(nodes[i])
-        for _ in range(v // 2):  # extra chords make cycles
-            a, b = rng.integers(0, v), rng.integers(0, v)
-            if a != b:
-                adj[nodes[a]].add(nodes[b])
-                adj[nodes[b]].add(nodes[a])
-        space = GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()})
+        space, adj = tree_chord_space(rng, v)
         rules = DependencyRules(
             DependencyConfig(radius_p=1.0, max_vel=1.0, metric="graph"),
             space=space)
-        positions = {i: nodes[rng.integers(0, v)] for i in range(n)}
+        positions = {i: (rng.integers(0, v), 0) for i in range(n)}
 
         def moves(pos):
             return [pos, *adj[pos]]  # stay or one hop (max_vel=1)
@@ -752,8 +734,7 @@ class TestAbortRunning:
         validity condition all hold through rollbacks."""
         rng = FastRng(seed)
         rules = DependencyRules(DependencyConfig())
-        positions = {i: (rng.integers(40, 120), rng.integers(0, 60))
-                     for i in range(n)}
+        positions = grid_positions(rng, n)
         graph = SpatioTemporalGraph(rules, positions,
                                     band_size=band_size)
         ref = DictReferenceGraph(rules, positions)
@@ -771,9 +752,7 @@ class TestAbortRunning:
             else:  # success: the (possibly re-)dispatch commits
                 new_pos = {}
                 for m in members:
-                    x, y = graph.pos[m]
-                    cands = [(x, y), (x + 1, y), (x - 1, y), (x, y + 1),
-                             (x, y - 1)]
+                    cands = grid_moves(graph.pos[m])
                     new_pos[m] = cands[rng.integers(0, len(cands))]
                 result = graph.commit(members, new_pos)
                 ref_unblocked, ref_neighbors, _ = ref.commit(members,

@@ -18,24 +18,11 @@ from repro.core.space import GraphSpace
 from repro.errors import SchedulingError
 from repro.trace.generator import generate_scale_trace
 
+from helpers import ring_space as _ring_space
+
 
 def _fake_trace(positions_by_step: np.ndarray) -> SimpleNamespace:
     return SimpleNamespace(positions_by_step=positions_by_step)
-
-
-def _ring_space(v: int, chords: int = 0, seed: int = 0) -> GraphSpace:
-    rng = FastRng(seed)
-    nodes = [(i, 0) for i in range(v)]
-    adj = {node: set() for node in nodes}
-    for i in range(v):
-        adj[nodes[i]].add(nodes[(i + 1) % v])
-        adj[nodes[(i + 1) % v]].add(nodes[i])
-    for _ in range(chords):
-        a, b = rng.integers(0, v), rng.integers(0, v)
-        if a != b:
-            adj[nodes[a]].add(nodes[b])
-            adj[nodes[b]].add(nodes[a])
-    return GraphSpace({k: tuple(sorted(vs)) for k, vs in adj.items()})
 
 
 class TestPlanRegions:
