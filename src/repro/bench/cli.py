@@ -26,12 +26,13 @@ from ..scenarios import get_scenario, scenario_names
 from .experiments import EXPERIMENTS, run_experiment
 from .hotpath import (AGENT_COUNTS, BASELINE_PATH,
                       MAX_FALLBACK_SCANS, MAX_KERNEL_EVENTS_PER_CLUSTER,
-                      MIN_SCALE_RATIO, MIN_SPEC_RATIO, MIN_SPEEDUP,
-                      MIN_THROUGHPUT,
+                      MIN_PARALLEL_RATIO, MIN_SCALE_RATIO, MIN_SPEC_RATIO,
+                      MIN_SPEEDUP, MIN_THROUGHPUT, PARALLEL_WORKERS,
                       SCALE_AGENTS, SCALE_SCENARIOS, TRAJECTORY,
                       check_report, check_scale_report,
                       format_report, format_scale_report, load_baseline,
-                      retry_perf_cells, run_hotpath, run_scale)
+                      retry_perf_cells, run_hotpath, run_scale,
+                      scale_ratio_lines)
 from .serving import (BASELINE_PATH as SERVING_BASELINE_PATH, CELLS,
                       MIN_TOKENS_RATIO, MIN_WALL_RATIO,
                       check_serving_report, format_profiles,
@@ -155,18 +156,30 @@ def main(argv: list[str] | None = None) -> int:
                           "ratio floor for --spec --check")
     hot.add_argument("--scale", action="store_true",
                      help="run the scale matrix instead: a 2000-agent "
-                          "reference cell plus a large tiled cell per "
-                          f"scenario (default {list(SCALE_SCENARIOS)}) "
-                          "with the region-sharded controller; --check "
-                          "gates the large cell's throughput ratio")
+                          "reference cell plus serial and multiprocess "
+                          "large tiled cells per scenario (default "
+                          f"{list(SCALE_SCENARIOS)}) with the region-"
+                          "sharded controller; --check gates each "
+                          "cell's throughput ratio and the parallel/"
+                          "serial ctrl-steps/s ratio")
     hot.add_argument("--scale-agents", type=int, default=SCALE_AGENTS,
                      help="population of the large scale cell "
-                          f"(default {SCALE_AGENTS}; 1000000 is the "
-                          "documented best-effort local run)")
+                          f"(default {SCALE_AGENTS}; 1000000 adds the "
+                          "nightly scale-large cell gated against the "
+                          "100k parallel cell)")
     hot.add_argument("--min-scale-ratio", type=float,
                      default=MIN_SCALE_RATIO,
                      help="required scale-cell/reference-cell "
                           "throughput ratio for --scale --check")
+    hot.add_argument("--parallel-workers", type=int,
+                     default=PARALLEL_WORKERS,
+                     help="worker processes for the multiprocess "
+                          "scale cells (default "
+                          f"{PARALLEL_WORKERS})")
+    hot.add_argument("--min-parallel-ratio", type=float,
+                     default=MIN_PARALLEL_RATIO,
+                     help="required parallel/serial ctrl-steps/s "
+                          "ratio for --scale --check")
     srv = sub.add_parser(
         "serving", help="end-to-end serving matrix: tokens/s + KV "
                         "counters per scenario on its declared "
@@ -245,12 +258,17 @@ def main(argv: list[str] | None = None) -> int:
         scenarios = tuple(args.scenarios) if args.scenarios \
             else SCALE_SCENARIOS
         report = run_scale(scenarios=scenarios,
-                           scale_agents=args.scale_agents, out=out)
+                           scale_agents=args.scale_agents, out=out,
+                           parallel_workers=args.parallel_workers)
         print(format_scale_report(report))
         if out is not None:
             print(f"[report written to {out}]")
         if args.check:
-            failures = check_scale_report(report, args.min_scale_ratio)
+            for line in scale_ratio_lines(report):
+                print(line)
+            failures = check_scale_report(report, args.min_scale_ratio,
+                                          min_parallel_ratio=(
+                                              args.min_parallel_ratio))
             if failures:
                 for failure in failures:
                     print(f"FAIL: {failure}", file=sys.stderr)

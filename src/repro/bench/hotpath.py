@@ -137,6 +137,17 @@ MAX_FALLBACK_SCANS = 0
 #: and must strictly win on at least one cell of the report, or the
 #: mode has regressed into dead weight.
 MIN_SPEC_RATIO = 0.98
+#: Worker processes for the multiprocess scale cells.
+PARALLEL_WORKERS = 4
+#: Parallel gate: the multiprocess 100k cell's controller agent-steps/s
+#: (critical-path accounting — the merged controller time is the
+#: slowest worker's CPU time, i.e. the wall time on dedicated cores)
+#: must beat the same run's in-process sharded cell by this factor.
+#: With 4 workers over ~400 balanced shards the critical path is ~1/4
+#: of the serial walk; 1.5x keeps >2x headroom for skew and merge
+#: overhead while still failing any serialization regression. A
+#: within-run ratio, so machine-normalized by construction.
+MIN_PARALLEL_RATIO = 1.5
 
 
 def hotpath_trace(scenario, n_agents: int, seed: int = HOTPATH_SEED):
@@ -230,8 +241,16 @@ def _peak_rss_mb() -> float:
 
 def bench_scale_one(scenario: str, n_agents: int,
                     n_steps: int = SCALE_STEPS,
-                    shards: int | None = None) -> dict:
-    """One tiled scale cell with the region-sharded controller."""
+                    shards: int | None = None,
+                    parallel_workers: int = 0) -> dict:
+    """One tiled scale cell with the region-sharded controller.
+
+    With ``parallel_workers >= 2`` the replay routes through the
+    multiprocess pool; ``controller_time_s`` is then the merged
+    critical-path (slowest-worker CPU) time, so the derived
+    ``agent_steps_per_sec`` reflects throughput on dedicated cores
+    even when the bench host timeshares one.
+    """
     if shards is None:
         shards = max(2, n_agents // SCALE_AGENTS_PER_SHARD)
     scn = get_scenario(scenario)
@@ -240,7 +259,8 @@ def bench_scale_one(scenario: str, n_agents: int,
     wall0 = time.perf_counter()
     result = run_replay(
         trace, SchedulerConfig(policy="metropolis", scenario=scn.name,
-                               shards=shards))
+                               shards=shards,
+                               parallel_workers=parallel_workers))
     wall = time.perf_counter() - wall0
     stats = result.driver_stats
     agent_steps = trace.meta.n_agents * trace.meta.n_steps
@@ -252,6 +272,8 @@ def bench_scale_one(scenario: str, n_agents: int,
         "agent_steps": agent_steps,
         "policy": "metropolis",
         "shards": stats.extra.get("shards", 1),
+        "parallel_workers": stats.extra.get("parallel_workers", 0),
+        "worker_redispatches": stats.extra.get("worker_redispatches", 0),
         "wall_time_s": wall,
         "controller_time_s": controller,
         "clusters_dispatched": stats.clusters_dispatched,
@@ -271,26 +293,53 @@ def run_scale(scenarios: tuple[str, ...] = SCALE_SCENARIOS,
               scale_agents: int = SCALE_AGENTS,
               reference_agents: int = SCALE_REFERENCE_AGENTS,
               n_steps: int = SCALE_STEPS,
-              out: Path | str | None = None) -> dict:
-    """The scale matrix: reference + large cell per scenario.
+              out: Path | str | None = None,
+              parallel_workers: int = PARALLEL_WORKERS) -> dict:
+    """The scale matrix: reference, serial, and parallel cells.
 
-    Each large cell carries ``scale_ratio`` — its controller
-    throughput over the same scenario's reference cell — which is what
-    the gate reads; being a within-run ratio it is machine-normalized
-    by construction.
+    Per scenario: a small reference cell, the 100k serial sharded
+    cell, and the same 100k workload through the multiprocess pool.
+    When ``scale_agents`` exceeds the 100k tier (the 1M nightly), one
+    extra ``scale-large`` parallel cell runs at ``scale_agents`` and
+    is gated against the 100k parallel cell.
+
+    Each gated cell carries ``scale_ratio`` — its controller
+    throughput over its baseline cell — and each parallel cell
+    carries ``parallel_ratio`` — parallel over serial ctrl-steps/s on
+    the identical workload. Both are within-run ratios, so
+    machine-normalized by construction.
     """
     calibration = calibration_score()
+    mid_agents = min(scale_agents, SCALE_AGENTS)
     entries = []
     for name in scenarios:
         ref = bench_scale_one(name, reference_agents, n_steps)
         ref["role"] = "reference"
         entries.append(ref)
-        big = bench_scale_one(name, scale_agents, n_steps)
+        big = bench_scale_one(name, mid_agents, n_steps)
         big["role"] = "scale"
         if ref["agent_steps_per_sec"] > 0:
             big["scale_ratio"] = (big["agent_steps_per_sec"]
                                   / ref["agent_steps_per_sec"])
         entries.append(big)
+        par = bench_scale_one(name, mid_agents, n_steps,
+                              parallel_workers=parallel_workers)
+        par["role"] = "scale-parallel"
+        if ref["agent_steps_per_sec"] > 0:
+            par["scale_ratio"] = (par["agent_steps_per_sec"]
+                                  / ref["agent_steps_per_sec"])
+        if big["agent_steps_per_sec"] > 0:
+            par["parallel_ratio"] = (par["agent_steps_per_sec"]
+                                     / big["agent_steps_per_sec"])
+        entries.append(par)
+        if scale_agents > mid_agents:
+            large = bench_scale_one(name, scale_agents, n_steps,
+                                    parallel_workers=parallel_workers)
+            large["role"] = "scale-large"
+            if par["agent_steps_per_sec"] > 0:
+                large["scale_ratio"] = (large["agent_steps_per_sec"]
+                                        / par["agent_steps_per_sec"])
+            entries.append(large)
     report = {
         "benchmark": "hotpath-scale",
         "scenarios": list(scenarios),
@@ -298,6 +347,7 @@ def run_scale(scenarios: tuple[str, ...] = SCALE_SCENARIOS,
         "reference_agents": reference_agents,
         "n_steps": n_steps,
         "agents_per_shard": SCALE_AGENTS_PER_SHARD,
+        "parallel_workers": parallel_workers,
         "calibration_ops_per_sec": calibration,
         "entries": entries,
     }
@@ -311,35 +361,47 @@ def run_scale(scenarios: tuple[str, ...] = SCALE_SCENARIOS,
 
 def check_scale_report(report: dict,
                        min_ratio: float = MIN_SCALE_RATIO,
-                       min_throughput: float = SCALE_MIN_THROUGHPUT
+                       min_throughput: float = SCALE_MIN_THROUGHPUT,
+                       min_parallel_ratio: float = MIN_PARALLEL_RATIO
                        ) -> list[str]:
     """CI gate for the scale matrix (empty = pass).
 
-    Every scenario must have both cells; each scale cell must hold
-    ``scale_ratio >= min_ratio`` and clear the calibration-normalized
-    absolute floor; sharding must have engaged (a planner fallback at
-    scale means the widened-gutter workload broke).
+    Every scenario must have its reference, serial-scale, and
+    parallel-scale cells (plus the large cell when the report was run
+    above the 100k tier); each gated cell must hold ``scale_ratio >=
+    min_ratio`` against its baseline and clear the
+    calibration-normalized absolute floor; sharding must have engaged
+    (a planner fallback at scale means the widened-gutter workload
+    broke). Parallel cells must additionally have actually routed
+    through the worker pool and beat the serial cell by
+    ``min_parallel_ratio`` on ctrl-steps/s.
     """
     failures = []
     cal = report.get("calibration_ops_per_sec") or 0.0
     floor = min_throughput * min(1.0, cal / SCALE_NOMINAL_CALIBRATION) \
         if cal else min_throughput
+    required = ["reference", "scale", "scale-parallel"]
+    if report.get("scale_agents", SCALE_AGENTS) > SCALE_AGENTS:
+        required.append("scale-large")
     roles = {(e["scenario"], e.get("role")) for e in report["entries"]}
     for scenario in report.get("scenarios", []):
-        for role in ("reference", "scale"):
+        for role in required:
             if (scenario, role) not in roles:
                 failures.append(
                     f"{scenario}: {role} cell missing from the report")
     for entry in report["entries"]:
-        if entry.get("role") != "scale":
+        role = entry.get("role")
+        if role not in ("scale", "scale-parallel", "scale-large"):
             continue
-        label = f"{entry['scenario']}@{entry['n_agents']}"
+        label = f"{entry['scenario']}@{entry['n_agents']}[{role}]"
+        baseline = ("the 100k parallel cell" if role == "scale-large"
+                    else "the reference cell")
         ratio = entry.get("scale_ratio")
         if ratio is None:
             failures.append(f"{label}: scale_ratio missing")
         elif ratio < min_ratio:
             failures.append(
-                f"{label}: {ratio:.2f}x of the reference cell's "
+                f"{label}: {ratio:.2f}x of {baseline}'s "
                 f"throughput, below the {min_ratio:.2f}x scale gate")
         if entry["agent_steps_per_sec"] < floor:
             failures.append(
@@ -354,25 +416,63 @@ def check_scale_report(report: dict,
             failures.append(
                 f"{label}: {entry['fallback_scans']} linear fallback "
                 f"scans at scale")
+        if role in ("scale-parallel", "scale-large"):
+            if entry.get("parallel_workers", 0) < 2:
+                failures.append(
+                    f"{label}: multiprocess path did not engage "
+                    f"(parallel_workers="
+                    f"{entry.get('parallel_workers', 0)})")
+        if role == "scale-parallel":
+            pratio = entry.get("parallel_ratio")
+            if pratio is None:
+                failures.append(f"{label}: parallel_ratio missing")
+            elif pratio < min_parallel_ratio:
+                failures.append(
+                    f"{label}: parallel/serial ctrl-steps/s ratio "
+                    f"{pratio:.2f}x below the "
+                    f"{min_parallel_ratio:.2f}x gate")
     return failures
+
+
+def scale_ratio_lines(report: dict) -> list[str]:
+    """Human-readable parallel/serial ctrl-steps/s lines, one per
+    parallel cell — printed by the CLI under ``--scale --check``."""
+    serial = {(e["scenario"], e["n_agents"]): e["agent_steps_per_sec"]
+              for e in report["entries"] if e.get("role") == "scale"}
+    lines = []
+    for e in report["entries"]:
+        if "parallel_ratio" not in e:
+            continue
+        base = serial.get((e["scenario"], e["n_agents"]), 0.0)
+        lines.append(
+            f"{e['scenario']}@{e['n_agents']}: parallel "
+            f"{e['agent_steps_per_sec']:.0f} ctrl-steps/s "
+            f"({e['parallel_workers']} workers) vs serial {base:.0f} "
+            f"-> {e['parallel_ratio']:.2f}x")
+    return lines
 
 
 def format_scale_report(report: dict) -> str:
     """Fixed-width table for the scale matrix."""
     header = (f"{'scenario':<14}{'agents':>9}{'steps':>7}{'shards':>7}"
-              f"{'ctrl-steps/s':>14}{'wall-steps/s':>14}"
-              f"{'slots/scan':>11}{'rss-mb':>9}{'ratio':>8}")
+              f"{'workers':>8}{'ctrl-steps/s':>14}{'wall-steps/s':>14}"
+              f"{'slots/scan':>11}{'rss-mb':>9}{'ratio':>8}"
+              f"{'par-ratio':>10}")
     lines = [header, "-" * len(header)]
     for e in report["entries"]:
         ratio = e.get("scale_ratio")
+        pratio = e.get("parallel_ratio")
         lines.append(
             f"{e['scenario']:<14}{e['n_agents']:>9}{e['n_steps']:>7}"
             f"{e['shards']:>7}"
+            f"{e.get('parallel_workers', 0):>8}"
             f"{e['agent_steps_per_sec']:>14.0f}"
             f"{e['wall_agent_steps_per_sec']:>14.0f}"
             f"{e['scanned_slots_per_scan']:>11.1f}"
             f"{e['peak_rss_mb']:>9.0f}"
-            + (f"{ratio:>7.2f}x" if ratio is not None else f"{'-':>8}"))
+            + (f"{ratio:>7.2f}x" if ratio is not None else f"{'-':>8}")
+            + (f"{pratio:>9.2f}x" if pratio is not None
+               else f"{'-':>10}"))
     return "\n".join(lines)
 
 

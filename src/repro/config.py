@@ -206,6 +206,12 @@ class SchedulerConfig:
     #: misspeculation+squash rate climbs past 1/2, growing back one slot
     #: per clean window. Set False to pin the limit at the budget.
     speculation_adaptive: bool = True
+    #: Feed the speculation ledger back into candidate *priority*:
+    #: agents whose past speculations misspeculated accumulate a decayed
+    #: penalty that demotes their clusters in the wake-distance x size
+    #: ranking, so the budget drains toward provably-safe candidates.
+    #: Set False for the ablation baseline (ranking ignores outcomes).
+    speculation_feedback: bool = True
     #: Region-sharded controller state (million-agent scaling): split the
     #: map into at most this many provably-independent regions, each with
     #: its own dependency-graph shard. ``0``/``1`` keeps the single
@@ -213,6 +219,17 @@ class SchedulerConfig:
     #: split. Results are bit-identical either way (see
     #: :mod:`repro.core.sharding`).
     shards: int = 0
+    #: Multiprocess controller (replay mode): run the region shards in
+    #: this many persistent worker processes over a shared-memory copy
+    #: of the trace position store. ``0``/``1`` keeps the in-process
+    #: controller; with ``>= 2`` the driver plans regions (honoring
+    #: ``shards`` when set, else one shard per worker), assigns whole
+    #: shards to workers, and merges the workers' ledgers into one
+    #: :class:`~repro.core.baselines.DriverStats`. Falls back cleanly
+    #: to in-process sharding when the workload cannot be split or the
+    #: platform lacks POSIX shared memory. Results are state-identical
+    #: either way (see :mod:`repro.core.parallel`).
+    parallel_workers: int = 0
     #: Fault-tolerance policy for the live engine. ``None`` runs under
     #: the default :class:`FaultPolicy` (hardening is always on; set an
     #: explicit policy to tune budgets or tighten the watchdog).

@@ -15,6 +15,9 @@ This package is the paper's contribution:
 * :mod:`sharding` — region-sharded controller state: provably
   independent map regions each own a dependency-graph shard behind a
   single-graph facade (bit-identical results, million-agent scaling);
+* :mod:`parallel` — the multiprocess controller: region shards run
+  their full controller loops in persistent worker processes over a
+  shared-memory position store, ledgers merged into one result;
 * :mod:`baselines` — Algorithm 1 baselines (``single-thread`` and
   ``parallel-sync``);
 * :mod:`oracle` — the §4.1 ``oracle`` (trace-mined dependencies),
@@ -23,6 +26,7 @@ This package is the paper's contribution:
 """
 
 from .engine import SimulationResult, run_replay, critical_path_time
+from .parallel import ShardWorkerPool, run_parallel_replay
 from .rules import DependencyRules, rules_for
 from .sharding import ShardedGraph, plan_regions
 from .space import (ChebyshevSpace, EuclideanSpace, GraphSpace,
@@ -36,6 +40,8 @@ __all__ = [
     "rules_for",
     "ShardedGraph",
     "plan_regions",
+    "ShardWorkerPool",
+    "run_parallel_replay",
     "Space",
     "EuclideanSpace",
     "ChebyshevSpace",

@@ -84,6 +84,17 @@ def run_replay(trace: Trace,
         raise ConfigError(
             f"unknown policy {scheduler.policy!r}; "
             f"available: {sorted(_DRIVERS)}")
+    if scheduler.parallel_workers >= 2 and fault_hook is None:
+        # Multiprocess controller (state-identical to the in-process
+        # path; see repro.core.parallel). Returns None when the
+        # workload cannot be split, which falls through to the
+        # in-process drivers below. fault_hook closures cannot cross a
+        # process boundary, so chaos runs always stay in-process.
+        from .parallel import run_parallel_replay
+        result = run_parallel_replay(trace, scheduler, serving,
+                                     collect_timeline=collect_timeline)
+        if result is not None:
+            return result
     # §3.5: request priority at the serving engine follows the scheduler's
     # priority switch (the Table 1 ablation flips both together).
     serving_cfg = serving if serving.priority_scheduling == scheduler.priority \

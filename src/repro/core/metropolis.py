@@ -116,7 +116,8 @@ class MetropolisDriver:
     """Out-of-order replay of a trace under the §3.2 rules."""
 
     def __init__(self, kernel: Kernel, engine: ServingEngine, trace: Trace,
-                 config: SchedulerConfig, executor: ChainExecutor) -> None:
+                 config: SchedulerConfig, executor: ChainExecutor,
+                 shard_plan: list[list[int]] | None = None) -> None:
         self.kernel = kernel
         self.engine = engine
         self.trace = trace
@@ -126,16 +127,27 @@ class MetropolisDriver:
         self.stats = DriverStats()
         self.n_steps = trace.meta.n_steps
         n = trace.meta.n_agents
+        #: Controller time source for the §3.6 critical-path accounting.
+        #: Wall clock by default; the multiprocess workers swap in
+        #: ``time.process_time`` so a worker's controller seconds measure
+        #: its own CPU work even when workers timeshare cores — the max
+        #: over workers is then the parallel critical path, which is what
+        #: wall time converges to on dedicated cores.
+        self._clock = perf_counter
         #: Step-major trace position store: commit batches gather their
         #: (step + 1, agent) rows in one flat fancy index — no per-agent
         #: tuple lists are ever materialized.
         self._pos_sa = trace.positions_by_step
         self._pos_flat = trace.positions_flat
-        shard_members = plan_regions(trace, self.rules, config.shards) \
-            if config.shards >= 2 else None
-        if shard_members is not None:
+        #: ``shard_plan`` overrides region planning outright — the
+        #: multiprocess workers pass their slice of the parent's global
+        #: plan so per-shard graph state matches the in-process
+        #: ``ShardedGraph`` bit-for-bit instead of being re-planned.
+        if shard_plan is None and config.shards >= 2:
+            shard_plan = plan_regions(trace, self.rules, config.shards)
+        if shard_plan is not None and len(shard_plan) >= 2:
             self.graph = ShardedGraph(self.rules, self._pos_sa[0],
-                                      shard_members)
+                                      shard_plan)
         else:
             self.graph = SpatioTemporalGraph(self.rules, self._pos_sa[0])
         #: Per agent, the sorted steps whose chains contain LLM calls —
@@ -216,7 +228,8 @@ class MetropolisDriver:
 
     def _controller_round(self, dirty: set[int]) -> None:
         """Re-cluster around ``dirty`` agents and dispatch what is ready."""
-        t0 = perf_counter()
+        clock = self._clock
+        t0 = clock()
         self._cone_cache = None
         graph = self.graph
         visited: set[int] = set()
@@ -238,7 +251,7 @@ class MetropolisDriver:
                     break
             else:
                 clusters.append((step[aid], cluster))
-        t1 = perf_counter()
+        t1 = clock()
         if self.config.num_workers == 0 and clusters:
             # Uncapped workers: every unblocked cluster dispatches this
             # instant, so the pending buckets are bypassed outright and
@@ -264,7 +277,7 @@ class MetropolisDriver:
             for s, cluster in clusters:
                 self._enqueue_cluster(s, cluster)
             self._fill_workers()
-        t2 = perf_counter()
+        t2 = clock()
         stats = self.stats
         stats.time_clustering += t1 - t0
         stats.time_dispatch += t2 - t1
@@ -432,7 +445,7 @@ class MetropolisDriver:
                         batch: list[tuple[int, list[int], np.ndarray | None]]
                         ) -> None:
         """Apply every cluster of the batch in one vectorized graph commit."""
-        t0 = perf_counter()
+        t0 = self._clock()
         n = self.graph.n_agents
         members_all: list[int] = []
         for _, members, _ in batch:
@@ -486,7 +499,7 @@ class MetropolisDriver:
         for aid in result.neighbors:
             if aid in ready:
                 dirty.add(aid)
-        self.stats.time_graph += perf_counter() - t0
+        self.stats.time_graph += self._clock() - t0
 
     def _flush_controller_round(self) -> None:
         dirty, self._dirty_accum = self._dirty_accum, set()

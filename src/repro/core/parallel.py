@@ -1,0 +1,539 @@
+"""Multiprocess controller: shard-worker processes over a shared store.
+
+The region planner (:func:`~repro.core.sharding.plan_regions`) proves
+its regions share **no** dependency edge — no coupling, no blocking, at
+any reachable step gap — so the controller loop over one region never
+reads or writes another region's state. PR 7 exploited that for memory
+locality but still walked the shards in one process; this module runs
+them in genuinely parallel worker processes:
+
+* the parent publishes the trace's step-major position store as one
+  named shared-memory segment (:meth:`Trace.share_positions`); workers
+  attach **zero-copy** by name and gather only their members' columns;
+* whole shards are assigned to a pool of persistent worker processes
+  (:func:`~repro.core.sharding.assign_shards` — the same deterministic
+  LPT rule that balances regions into shards), and each worker runs its
+  shards' full controller loop — blocker scans, clustering, commits,
+  dispatch bookkeeping — against its own virtual-time kernel and
+  serving engine;
+* **no cross-worker synchronization exists mid-run.** Workers never
+  write the shared segment and never message each other; only compact
+  end-of-task ledgers (counters, virtual completion time, kernel-event
+  counts, optional call records) travel back over a queue, where the
+  parent merges them into one :class:`DriverStats` and aggregates the
+  virtual clocks (completion = max over workers).
+
+**Crash handling** reuses the faults-layer budget semantics: a worker
+process that dies mid-task is replaced and its task redispatched (the
+shared store is read-only, so a retry from scratch is idempotent), up
+to ``FaultPolicy.max_redispatches`` times; past the budget the run
+raises a diagnostic :class:`SchedulingError` via
+:func:`~repro.faults.scheduler_diagnostics`.
+
+**Controller-time accounting.** Each worker swaps the driver's clock to
+``time.process_time``, so its ``controller_time`` measures the CPU
+seconds of its own scheduling work regardless of how the OS timeshares
+cores. The merged stats take the *maximum* over workers — the parallel
+critical path, i.e. the wall-clock controller time on machines with a
+dedicated core per worker — while per-worker times and the true
+parent-side wall time ride along in ``extra`` for transparency.
+
+**Equivalence.** Dependency-disjointness makes the mode state-identical
+to the in-process ``ShardedGraph`` path (which is itself fuzz-pinned to
+the single graph): same final positions, same per-agent call sequences,
+and the same per-shard blocked-edge structure — each worker receives
+its exact slice of the parent's global shard plan (not a re-planned
+one), so every per-shard :class:`SpatioTemporalGraph` evolves through
+the same states. ``tests/test_parallel.py`` fuzz-pins all three modes
+against each other across seeded coordinate and graph worlds.
+
+The mode falls back cleanly (``run_parallel_replay`` returns ``None``
+and the caller keeps the in-process path) when the workload yields
+fewer than two regions, ``parallel_workers < 2``, the policy is not a
+metropolis variant, or the platform lacks POSIX shared memory.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import traceback
+from dataclasses import asdict, replace
+
+import numpy as np
+
+from ..config import FaultPolicy, SchedulerConfig, ServingConfig
+from ..devent import Kernel
+from ..errors import SchedulingError
+from ..faults import scheduler_diagnostics
+from ..instrument import TimelineRecorder
+from ..serving import EngineMetrics, ServingEngine
+from ..trace.schema import SharedPositionStore, Trace, TraceMeta
+from .baselines import DriverStats
+from .engine import SimulationResult
+from .metropolis import MetropolisDriver
+from .rules import rules_for
+from .sharding import assign_shards, plan_regions
+from .speculative import SpeculativeMetropolisDriver
+from .tasks import ChainExecutor
+
+#: Seconds between liveness sweeps while waiting on worker ledgers.
+_POLL_S = 0.05
+
+#: ``DriverStats.extra`` keys that are *levels*, not counters: summing
+#: them across shards or workers is meaningless, so the canonical merge
+#: reports the minimum live value instead.
+_LEVEL_KEYS = frozenset({"spec_depth"})
+
+
+def merge_extra_counters(extras: list[dict]) -> dict:
+    """The canonical ``DriverStats.extra`` aggregation.
+
+    Numeric counters sum — the same plain integer addition
+    ``ShardedGraph`` applies across its in-process shards — so
+    ``scanned_slots`` / ``kernel_events`` / ``fallback_scans`` mean the
+    same thing whether the shards ran in one process or many. Non-
+    numeric values (per-run lists, diagnostics) do not aggregate and
+    are dropped; level keys (:data:`_LEVEL_KEYS`) take the minimum.
+    """
+    out: dict = {}
+    for extra in extras:
+        for key, value in extra.items():
+            if key in _LEVEL_KEYS:
+                continue
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                continue
+            out[key] = out.get(key, 0) + value
+    for key in _LEVEL_KEYS:
+        values = [e[key] for e in extras if key in e]
+        if values:
+            out[key] = min(values)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _run_worker_task(task: dict) -> dict:
+    """Replay one worker's members in-process; return the compact ledger.
+
+    Mirrors :func:`~repro.core.engine.run_replay`'s wiring, with three
+    deliberate differences: positions come from the shared segment
+    (gathered down to this worker's member columns), the driver is
+    built with the parent's shard plan instead of re-planning, and the
+    controller clock is per-process CPU time (see module docstring).
+    """
+    members: np.ndarray = task["members"]
+    store = SharedPositionStore.open(
+        task["shm_name"], task["shm_shape"], task["shm_dtype"])
+    try:
+        # One fancy-index gather: the worker's whole working set, sized
+        # O(its members), leaving the shared segment untouched.
+        positions = store.array[:, members, :].copy()
+    finally:
+        store.close()
+    meta = TraceMeta(**{**task["meta"], "n_agents": int(len(members))})
+    trace = Trace(meta, positions, task["call_step"], task["call_agent"],
+                  task["call_func"], task["call_in"], task["call_out"],
+                  step_major=True)
+    scheduler: SchedulerConfig = task["scheduler"]
+    serving: ServingConfig = task["serving"]
+    serving_cfg = serving \
+        if serving.priority_scheduling == scheduler.priority \
+        else ServingConfig(**{**serving.__dict__,
+                              "priority_scheduling": scheduler.priority})
+    kernel = Kernel()
+    engine = ServingEngine(kernel, serving_cfg)
+    recorder = TimelineRecorder() if task["collect_calls"] else None
+    executor = ChainExecutor(
+        kernel, engine, trace, scheduler.overhead,
+        call_observer=recorder.record if recorder else None)
+    cls = SpeculativeMetropolisDriver \
+        if scheduler.policy == "metropolis-spec" else MetropolisDriver
+    driver = cls(kernel, engine, trace, scheduler, executor,
+                 shard_plan=task["local_plan"])
+    driver._clock = time.process_time
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        driver.start()
+        kernel.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    if not driver.finished():
+        raise SchedulingError(
+            f"parallel worker: kernel drained before completion "
+            f"({driver.stats.tasks_completed} tasks done)")
+    if not engine.idle():
+        raise SchedulingError(
+            "parallel worker: serving engine still busy at drain")
+    completion = kernel.now
+    stats = driver.stats
+    metrics = engine.metrics
+    calls = None
+    if recorder is not None:
+        gids = members.tolist()
+        calls = [(gids[e.agent], e.step, e.func_id,
+                  e.submit_time, e.finish_time)
+                 for e in recorder.events]
+    return {
+        "completion_time": completion,
+        "tasks_completed": stats.tasks_completed,
+        "clusters_dispatched": stats.clusters_dispatched,
+        "cluster_size_sum": stats.cluster_size_sum,
+        "blocked_events": stats.blocked_events,
+        "unblock_events": stats.unblock_events,
+        "max_step_spread": stats.max_step_spread,
+        "time_clustering": stats.time_clustering,
+        "time_graph": stats.time_graph,
+        "time_dispatch": stats.time_dispatch,
+        "controller_rounds": stats.controller_rounds,
+        "extra": stats.extra,
+        "n_calls": metrics.completed,
+        "prompt_tokens": metrics.total_prompt_tokens,
+        "output_tokens": metrics.total_output_tokens,
+        "parallelism_integral": metrics._outstanding_integral,
+        "busy_integral": engine.busy_fraction(completion) * completion,
+        "kv_stats": engine.kv_stats(),
+        # Crash-consistency evidence: the parent verifies every member
+        # actually drained to the final step before merging.
+        "final_steps": list(driver.graph.step),
+        "calls": calls,
+    }
+
+
+def _worker_main(worker_id: int, inbox, outbox) -> None:
+    """Persistent worker loop: tasks in, ledgers out, ``None`` to quit."""
+    while True:
+        task = inbox.get()
+        if task is None:
+            return
+        if task.get("crash_times", 0) > 0:
+            # Test hook: simulate a hard worker crash mid-task (the
+            # parent decrements the counter before redispatching).
+            os._exit(17)
+        try:
+            outbox.put((worker_id, task["task_id"], "ok",
+                        _run_worker_task(task)))
+        except BaseException:
+            outbox.put((worker_id, task["task_id"], "error",
+                        traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+def _mp_context():
+    import multiprocessing as mp
+    try:
+        # Fork shares the imported interpreter state, so worker startup
+        # is milliseconds; spawn is the portable fallback.
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return mp.get_context("spawn")
+
+
+class ShardWorkerPool:
+    """A pool of persistent shard-worker processes.
+
+    Reusable across runs (the equivalence fuzz shares one pool over a
+    hundred worlds); each worker owns a private inbox so tasks pin to
+    the worker whose shard slice they describe, and all workers share
+    one outbox. A dead worker is detected by liveness polling, replaced
+    with a fresh process *and a fresh inbox* (so a task that died
+    before or after ``get()`` is re-run exactly once), and its task
+    redispatched against the faults-layer budget.
+    """
+
+    def __init__(self, n_workers: int,
+                 faults: FaultPolicy | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.faults = faults or FaultPolicy()
+        self._ctx = _mp_context()
+        self._outbox = self._ctx.Queue()
+        self._procs: list = [None] * n_workers
+        self._inboxes: list = [None] * n_workers
+        for wid in range(n_workers):
+            self._respawn(wid)
+
+    def _respawn(self, worker_id: int) -> None:
+        old = self._procs[worker_id]
+        if old is not None and old.is_alive():  # pragma: no cover
+            old.terminate()
+            old.join(1.0)
+        inbox = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, self._outbox),
+            name=f"repro-shard-worker-{worker_id}", daemon=True)
+        proc.start()
+        self._procs[worker_id] = proc
+        self._inboxes[worker_id] = inbox
+
+    def run_tasks(self, tasks: dict[int, dict]) -> tuple[dict, int]:
+        """Dispatch ``tasks`` (worker id -> task) and collect ledgers.
+
+        Returns ``(task_id -> ledger, redispatches)``. Raises
+        :class:`SchedulingError` when a worker reports an error or a
+        task exhausts its crash-redispatch budget.
+        """
+        import queue as queue_mod
+        outstanding = dict(tasks)
+        for wid, task in outstanding.items():
+            self._inboxes[wid].put(task)
+        results: dict[int, dict] = {}
+        redispatches = 0
+        while outstanding:
+            try:
+                wid, task_id, status, payload = self._outbox.get(
+                    timeout=_POLL_S)
+            except queue_mod.Empty:
+                redispatches += self._redispatch_dead(outstanding)
+                continue
+            if status == "error":
+                raise SchedulingError(
+                    f"parallel worker {wid} failed:\n{payload}")
+            results[task_id] = payload
+            outstanding.pop(wid, None)
+        return results, redispatches
+
+    def _redispatch_dead(self, outstanding: dict[int, dict]) -> int:
+        """Replace dead workers; re-run their tasks. Returns the count."""
+        redispatched = 0
+        for wid in list(outstanding):
+            proc = self._procs[wid]
+            if proc.is_alive():
+                continue
+            task = outstanding[wid]
+            attempts = task["redispatched"] = \
+                task.get("redispatched", 0) + 1
+            if attempts > self.faults.max_redispatches:
+                raise SchedulingError(
+                    "parallel worker crash budget exhausted "
+                    f"(worker {wid} died {attempts} times, budget "
+                    f"{self.faults.max_redispatches})\n  "
+                    + scheduler_diagnostics(
+                        done=0, total=int(len(task["members"])),
+                        redispatches=attempts - 1))
+            if task.get("crash_times", 0) > 0:
+                task["crash_times"] -= 1
+            self._respawn(wid)
+            self._inboxes[wid].put(task)
+            redispatched += 1
+        return redispatched
+
+    def close(self) -> None:
+        """Drain the pool: polite sentinel, then terminate stragglers."""
+        for wid, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            try:
+                self._inboxes[wid].put(None)
+            except Exception:  # pragma: no cover - queue torn down
+                pass
+        deadline = time.monotonic() + self.faults.worker_join_grace
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        self._outbox.close()
+        for inbox in self._inboxes:
+            if inbox is not None:
+                inbox.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _build_tasks(trace: Trace, scheduler: SchedulerConfig,
+                 serving: ServingConfig, shard_plan: list[list[int]],
+                 groups: list[list[int]], store: SharedPositionStore,
+                 collect_calls: bool,
+                 crash_plan: dict[int, int] | None) -> dict[int, dict]:
+    """One task per worker: its member slice of the global shard plan."""
+    meta_dict = asdict(trace.meta)
+    # Workers run their slice unsharded-or-sharded per the local plan;
+    # re-planning or re-parallelizing inside a worker is never right.
+    worker_scheduler = replace(scheduler, shards=0, parallel_workers=0)
+    call_agent = trace.call_agent
+    tasks: dict[int, dict] = {}
+    for wid, shard_idxs in enumerate(groups):
+        members = np.unique(np.concatenate(
+            [np.asarray(shard_plan[si], dtype=np.int64)
+             for si in shard_idxs]))
+        # Shard member lists are sorted global ids, so searchsorted is
+        # an exact global->local translation on both plan and calls.
+        local_plan = [
+            np.searchsorted(members, np.asarray(shard_plan[si],
+                                                dtype=np.int64)).tolist()
+            for si in shard_idxs]
+        mask = np.isin(call_agent, members)
+        tasks[wid] = {
+            "task_id": wid,
+            "shm_name": store.name,
+            "shm_shape": store.shape,
+            "shm_dtype": store.dtype.str,
+            "meta": meta_dict,
+            "members": members,
+            "local_plan": local_plan,
+            "call_step": trace.call_step[mask],
+            "call_agent": np.searchsorted(
+                members, call_agent[mask]).astype(call_agent.dtype),
+            "call_func": trace.call_func[mask],
+            "call_in": trace.call_in[mask],
+            "call_out": trace.call_out[mask],
+            "scheduler": worker_scheduler,
+            "serving": serving,
+            "collect_calls": collect_calls,
+            "crash_times": (crash_plan or {}).get(wid, 0),
+        }
+    return tasks
+
+
+def _merge_results(trace: Trace, scheduler: SchedulerConfig,
+                   ledgers: list[dict], n_workers: int,
+                   redispatches: int, wall_s: float,
+                   collect_timeline: bool) -> SimulationResult:
+    """Fold the workers' ledgers into one :class:`SimulationResult`."""
+    n_steps = trace.meta.n_steps
+    for led in ledgers:
+        if any(s != n_steps for s in led["final_steps"]):
+            raise SchedulingError(
+                "parallel replay: a worker ledger reports members not "
+                "drained to the final step")
+    stats = DriverStats()
+    # Headline controller times come from the critical-path worker: the
+    # parallel run is as slow as its slowest worker, and per-worker CPU
+    # time is what that worker would cost wall-clock on its own core.
+    critical = max(ledgers, key=lambda led: (
+        led["time_clustering"] + led["time_graph"] + led["time_dispatch"]))
+    stats.time_clustering = critical["time_clustering"]
+    stats.time_graph = critical["time_graph"]
+    stats.time_dispatch = critical["time_dispatch"]
+    for field in ("tasks_completed", "clusters_dispatched",
+                  "cluster_size_sum", "blocked_events", "unblock_events",
+                  "controller_rounds"):
+        setattr(stats, field, sum(led[field] for led in ledgers))
+    stats.max_step_spread = max(led["max_step_spread"] for led in ledgers)
+    stats.extra = merge_extra_counters([led["extra"] for led in ledgers])
+    stats.extra["parallel_workers"] = n_workers
+    stats.extra["worker_redispatches"] = redispatches
+    stats.extra["parallel_wall_s"] = wall_s
+    stats.extra["worker_controller_times"] = [
+        led["time_clustering"] + led["time_graph"] + led["time_dispatch"]
+        for led in ledgers]
+    completion = max(led["completion_time"] for led in ledgers)
+    metrics = EngineMetrics()
+    metrics.total_prompt_tokens = sum(led["prompt_tokens"]
+                                      for led in ledgers)
+    metrics.total_output_tokens = sum(led["output_tokens"]
+                                      for led in ledgers)
+    kv_stats: dict = {}
+    for led in ledgers:
+        for key, value in led["kv_stats"].items():
+            kv_stats[key] = kv_stats.get(key, 0) + value
+    timeline = None
+    if collect_timeline:
+        timeline = TimelineRecorder()
+        events = [ev for led in ledgers for ev in (led["calls"] or [])]
+        events.sort(key=lambda ev: (ev[3], ev[4], ev[0], ev[1]))
+        for agent, step, func_id, submit, finish in events:
+            timeline.record(agent, step, func_id, submit, finish)
+    parallelism = sum(led["parallelism_integral"] for led in ledgers) \
+        / completion if completion > 0 else 0.0
+    busy = sum(led["busy_integral"] for led in ledgers) \
+        / (n_workers * completion) if completion > 0 else 0.0
+    return SimulationResult(
+        policy=scheduler.policy,
+        scenario=scheduler.scenario or trace.meta.scenario,
+        completion_time=completion,
+        achieved_parallelism=parallelism,
+        n_calls_completed=sum(led["n_calls"] for led in ledgers),
+        n_tasks_completed=stats.tasks_completed,
+        driver_stats=stats,
+        engine_metrics=metrics,
+        gpu_busy_fraction=busy,
+        timeline=timeline,
+        kv_stats=kv_stats,
+    )
+
+
+def run_parallel_replay(trace: Trace,
+                        scheduler: SchedulerConfig | None = None,
+                        serving: ServingConfig | None = None,
+                        collect_timeline: bool = False,
+                        pool: ShardWorkerPool | None = None,
+                        _crash_plan: dict[int, int] | None = None
+                        ) -> SimulationResult | None:
+    """Replay ``trace`` with shard-worker processes; ``None`` = fall back.
+
+    Returns ``None`` — the caller should keep the in-process path —
+    when ``parallel_workers < 2``, the policy is not a metropolis
+    variant, the workload yields fewer than two independent regions,
+    interactive agents are configured (their ids are global, their
+    latency ledger is cross-region), or the platform lacks POSIX shared
+    memory. ``pool`` optionally reuses persistent workers across runs;
+    ``_crash_plan`` (worker id -> crash count) is the chaos/test hook
+    exercising the redispatch path.
+    """
+    scheduler = scheduler or SchedulerConfig()
+    serving = serving or ServingConfig()
+    if scheduler.parallel_workers < 2 and pool is None:
+        return None
+    if scheduler.policy not in ("metropolis", "metropolis-spec"):
+        return None
+    if scheduler.interactive_agents:
+        return None
+    rules = rules_for(scheduler, trace.meta)
+    max_shards = scheduler.shards if scheduler.shards >= 2 \
+        else max(2, scheduler.parallel_workers)
+    shard_plan = plan_regions(trace, rules, max_shards)
+    if shard_plan is None or len(shard_plan) < 2:
+        return None
+    want = scheduler.parallel_workers if scheduler.parallel_workers >= 2 \
+        else (pool.n_workers if pool is not None else 0)
+    if pool is not None:
+        want = min(want, pool.n_workers)
+    n_workers = min(want, len(shard_plan))
+    if n_workers < 2:
+        return None
+    groups = assign_shards([len(m) for m in shard_plan], n_workers)
+    try:
+        store = trace.share_positions()
+    except Exception:
+        return None  # platform lacks POSIX shared memory
+    wall0 = time.perf_counter()
+    own_pool = pool is None
+    try:
+        tasks = _build_tasks(trace, scheduler, serving, shard_plan,
+                             groups, store, collect_timeline, _crash_plan)
+        if own_pool:
+            pool = ShardWorkerPool(n_workers, faults=scheduler.faults)
+        try:
+            results, redispatches = pool.run_tasks(tasks)
+        finally:
+            if own_pool:
+                pool.close()
+    finally:
+        store.unlink()
+        store.close()
+    wall_s = time.perf_counter() - wall0
+    ledgers = [results[tid] for tid in sorted(results)]
+    return _merge_results(trace, scheduler, ledgers, n_workers,
+                          redispatches, wall_s, collect_timeline)

@@ -147,6 +147,32 @@ def _balance(regions: list[list[int]],
     return shards
 
 
+def assign_shards(shard_sizes: list[int],
+                  max_workers: int) -> list[list[int]]:
+    """Group shard indices onto at most ``max_workers`` workers.
+
+    The multiprocess controller's placement step: the same
+    deterministic LPT rule :func:`_balance` applies to regions
+    (heaviest shard first onto the lightest worker, ties by worker
+    index), so worker loads stay balanced and the parallel critical
+    path — the slowest worker — stays close to ``total / workers``.
+    Returns per-worker sorted shard-index lists; workers with no shard
+    are never created (the list is at most ``len(shard_sizes)`` long).
+    """
+    n_workers = max(1, min(max_workers, len(shard_sizes)))
+    groups: list[list[int]] = [[] for _ in range(n_workers)]
+    loads = [0] * n_workers
+    order = sorted(range(len(shard_sizes)),
+                   key=lambda i: (-shard_sizes[i], i))
+    for i in order:
+        target = loads.index(min(loads))
+        groups[target].append(i)
+        loads[target] += shard_sizes[i]
+    for group in groups:
+        group.sort()
+    return groups
+
+
 class _ShardedIndex:
     """Spatial-query shim over the shards' indexes (global ids).
 

@@ -115,6 +115,9 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         self._depth = max(0, self.config.speculation_budget)
         self._win_total = 0
         self._win_bad = 0
+        #: aid -> decayed misspeculation penalty (ledger feedback into
+        #: candidate priority; see :meth:`_spec_feedback`).
+        self._spec_penalty: dict[int, float] = {}
         extra = self.stats.extra
         extra["speculations"] = 0
         extra["misspeculations"] = 0
@@ -124,6 +127,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         extra["spec_retired_members"] = 0
         extra["rollback_rows"] = 0
         extra["spec_depth_backoffs"] = 0
+        extra["spec_priority_demotions"] = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -163,6 +167,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
                 # couple, so coupling is where wrong speculation dies.
                 if self._spec[cid].will_fail:
                     self.stats.extra["misspeculations"] += 1
+                    self._spec_feedback(self._spec[cid].members, bad=True)
                 else:
                     self.stats.extra["squashes"] += 1
                 self._spec_outcome(bad=True)
@@ -198,14 +203,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
                 continue
             if not any(blocked_by[m] for m in cluster):
                 continue  # dispatchable normally; leave to the base round
-            if use_priority:
-                # Critical-path contribution: how long the cluster must
-                # provably wait (max wake-step bound over members) times
-                # how much latency speculating hides (cluster size).
-                wake = max(graph.invocation_distance(m) for m in cluster)
-                score = wake * len(cluster)
-            else:
-                score = 0.0
+            score = self._candidate_score(cluster) if use_priority else 0.0
             candidates.append((score, aid, cluster))
         if use_priority and len(candidates) > slots:
             candidates.sort(key=lambda c: (-c[0], c[1]))
@@ -217,6 +215,25 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             slots -= 1
             slack -= len(cluster)
             self._start_speculation(cluster)
+
+    def _candidate_score(self, cluster: list[int]) -> float:
+        """Rank a speculation candidate for the launch budget.
+
+        Critical-path contribution — how long the cluster must provably
+        wait (max wake-step bound over members) times how much latency
+        speculating hides (cluster size) — divided down by the members'
+        worst decayed misspeculation penalty when ledger feedback is
+        on, so the budget drains toward candidates whose speculations
+        have historically committed.
+        """
+        wake = max(self.graph.invocation_distance(m) for m in cluster)
+        score = wake * len(cluster)
+        if self.config.speculation_feedback and self._spec_penalty:
+            worst = max(self._spec_penalty.get(m, 0.0) for m in cluster)
+            if worst > 0.0:
+                score /= 1.0 + worst
+                self.stats.extra["spec_priority_demotions"] += 1
+        return score
 
     def _start_speculation(self, cluster: list[int]) -> None:
         # Members leave the ready pool; their memoized component (if
@@ -328,6 +345,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             # path (they are unblocked now, so the round dispatches
             # them immediately).
             self.stats.extra["misspeculations"] += 1
+            self._spec_feedback(members, bad=True)
             self._spec_outcome(bad=True)
             self._controller_round(self._rollback(cid))
             return
@@ -340,6 +358,7 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
         extra = self.stats.extra
         extra["spec_retires"] += 1
         extra["spec_retired_members"] += len(members)
+        self._spec_feedback(members, bad=False)
         self._spec_outcome(bad=False)
         stats = self.stats
         stats.tasks_completed += len(members)
@@ -372,6 +391,32 @@ class SpeculativeMetropolisDriver(MetropolisDriver):
             graph.invalidate_components(
                 graph.index.query(graph.pos[m], threshold))
         return set(members)
+
+    def _spec_feedback(self, members: list[int], bad: bool) -> None:
+        """Feed one terminal outcome into the members' priority penalty.
+
+        A misspeculation charges every member one penalty unit; a clean
+        retire halves whatever they carry (forgiveness, so a phase
+        change does not demote an agent forever). Squashes are neutral:
+        an oracle-clean conservative kill says nothing about whether
+        the members' speculations tend to be wrong.
+        """
+        if not self.config.speculation_feedback:
+            return
+        penalty = self._spec_penalty
+        if bad:
+            for m in members:
+                penalty[m] = penalty.get(m, 0.0) + 1.0
+            return
+        for m in members:
+            p = penalty.get(m)
+            if p is None:
+                continue
+            p *= 0.5
+            if p < 0.5:
+                del penalty[m]
+            else:
+                penalty[m] = p
 
     def _spec_outcome(self, bad: bool) -> None:
         """Feed one terminal outcome to the adaptive depth controller."""

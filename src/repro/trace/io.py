@@ -15,7 +15,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import TraceError
-from .schema import Trace, TraceMeta
+from .schema import Trace, TraceMeta, _alloc_positions
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -47,6 +47,14 @@ def load_trace(path: str | Path) -> Trace:
             positions, step_major = data["positions_sa"], True
         else:
             positions, step_major = data["positions"], False
+        # Route big stores through the size-thresholded allocator so a
+        # million-agent load lands in the same (possibly memmap-backed)
+        # kind of store the generator builds, instead of pinning the
+        # decompressed npz array in anonymous RAM.
+        backed = _alloc_positions(positions.shape, positions.dtype)
+        if isinstance(backed, np.memmap):
+            np.copyto(backed, positions)
+            positions = backed
         trace = Trace(
             meta, positions,
             data["call_step"], data["call_agent"], data["call_func"],

@@ -15,7 +15,9 @@ drivers consume.
 
 from __future__ import annotations
 
+import itertools
 import os
+import sys
 import tempfile
 from dataclasses import dataclass, replace as dc_replace
 from typing import Sequence
@@ -50,6 +52,120 @@ def _alloc_positions(shape: tuple[int, ...], dtype) -> np.ndarray:
     # automatic when the array is garbage-collected (POSIX).
     os.unlink(path)
     return arr
+
+
+#: Distinct per-process suffix stream for shared-segment names.
+_SHM_SEQ = itertools.count()
+
+
+def _untrack_shm(shm) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    CPython 3.12 registers POSIX shared memory with the resource
+    tracker on attach as well as on create, so a worker that merely
+    opened the segment would tear it down (or warn about a leak) when
+    it exits. Only the creating process owns cleanup; attachments must
+    untrack. On <= 3.11 attaching does not register — and forked
+    workers share the parent's tracker process, so unregistering there
+    would erase the *owner's* registration — hence the version gate.
+    """
+    if sys.version_info < (3, 12):
+        return
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedPositionStore:
+    """A step-major position array in named POSIX shared memory.
+
+    The multiprocess replay driver's transport: the parent copies the
+    trace's ``(n_steps + 1, n_agents, 2)`` store into one segment and
+    every shard worker opens it **zero-copy** by name (each then
+    gathers only its own members' columns). Workers never write the
+    segment, which is what makes crashed-worker redispatch idempotent.
+
+    Ownership: the creating process calls :meth:`unlink` (then
+    :meth:`close`) after the run; attached processes only
+    :meth:`close`. Attachments are unregistered from the resource
+    tracker so a worker's exit cannot tear the segment down under the
+    other readers.
+    """
+
+    def __init__(self, shm, shape: tuple[int, ...], dtype,
+                 owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.array: np.ndarray | None = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=shm.buf)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedPositionStore":
+        """New owned segment initialized with a copy of ``array``.
+
+        Raises whatever the platform raises when POSIX shared memory is
+        unavailable — callers fall back to in-process execution.
+        """
+        from multiprocessing import shared_memory
+        arr = np.ascontiguousarray(array)
+        shm = None
+        for _ in range(8):
+            name = f"repro-pos-{os.getpid()}-{next(_SHM_SEQ)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, arr.nbytes))
+                break
+            except FileExistsError:
+                continue
+        if shm is None:  # pragma: no cover - 8 collisions
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, arr.nbytes))
+        store = cls(shm, arr.shape, arr.dtype, owner=True)
+        np.copyto(store.array, arr)
+        return store
+
+    @classmethod
+    def open(cls, name: str, shape: Sequence[int],
+             dtype) -> "SharedPositionStore":
+        """Attach to an existing segment by name (reader side)."""
+        from multiprocessing import shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # pre-3.13: no track kwarg; untrack manually
+            shm = shared_memory.SharedMemory(name=name)
+            _untrack_shm(shm)
+        return cls(shm, tuple(shape), dtype, owner=False)
+
+    def close(self) -> None:
+        """Drop the array view and unmap the segment (every process)."""
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; attachments no-op)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedPositionStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -279,6 +395,18 @@ class Trace:
 
     def func_name(self, func_id: int) -> str:
         return FUNCS[func_id]
+
+    def share_positions(self) -> SharedPositionStore:
+        """Publish the step-major store as a named shared-memory segment.
+
+        Returns an *owned* :class:`SharedPositionStore` holding a copy
+        of the positions; the trace itself keeps its original array
+        (which may be a temp-file memmap), so it stays valid after the
+        segment is unlinked. Worker processes attach by name and read
+        zero-copy. The caller owns the segment's lifetime:
+        ``unlink()`` + ``close()`` when the run drains.
+        """
+        return SharedPositionStore.create(self._pos_sa)
 
     # -- transformations --------------------------------------------------
 

@@ -96,6 +96,58 @@ class TestTraceSchema:
             concat_traces([], x_stride=10)
 
 
+def _memmap_backed(arr):
+    """True when ``arr`` is (a view of) a disk-backed memmap."""
+    while arr is not None:
+        if isinstance(arr, np.memmap):
+            return True
+        arr = arr.base
+    return False
+
+
+class TestMemmapStore:
+    """REPRO_TRACE_MEMMAP_MB routes big position stores to disk-backed
+    memmaps; every trace operation must behave identically there."""
+
+    def test_alloc_positions_threshold(self, monkeypatch):
+        from repro.trace.schema import _alloc_positions
+        monkeypatch.setenv("REPRO_TRACE_MEMMAP_MB", "0")
+        assert isinstance(_alloc_positions((4, 3, 2), np.int32),
+                          np.memmap)
+        monkeypatch.setenv("REPRO_TRACE_MEMMAP_MB", "-1")
+        assert not isinstance(_alloc_positions((4, 3, 2), np.int32),
+                              np.memmap)
+
+    def test_npz_roundtrip_through_memmap(self, synthetic_trace,
+                                          tmp_path, monkeypatch):
+        path = tmp_path / "t.npz"
+        save_trace(synthetic_trace, path)
+        monkeypatch.setenv("REPRO_TRACE_MEMMAP_MB", "0")
+        loaded = load_trace(path)
+        assert _memmap_backed(loaded.positions_by_step)
+        assert np.array_equal(loaded.positions_by_step,
+                              synthetic_trace.positions_by_step)
+        for name in ("call_step", "call_agent", "call_func",
+                     "call_in", "call_out"):
+            assert np.array_equal(getattr(loaded, name),
+                                  getattr(synthetic_trace, name)), name
+
+    def test_window_and_concat_on_memmap_store(self, monkeypatch):
+        a = random_trace(seed=3, n_agents=3, n_steps=10)
+        b = random_trace(seed=4, n_agents=3, n_steps=10)
+        ram = concat_traces([a, b], x_stride=100)
+        monkeypatch.setenv("REPRO_TRACE_MEMMAP_MB", "0")
+        mapped = concat_traces([a, b], x_stride=100)
+        assert _memmap_backed(mapped.positions_by_step)
+        assert np.array_equal(mapped.positions_by_step,
+                              ram.positions_by_step)
+        w_ram, w_map = ram.window(2, 8), mapped.window(2, 8)
+        assert np.array_equal(w_map.positions_by_step,
+                              w_ram.positions_by_step)
+        assert w_map.n_calls == w_ram.n_calls
+        assert np.array_equal(w_map.call_step, w_ram.call_step)
+
+
 class TestGenerator:
     def test_deterministic(self):
         a = generate_trace(4, 300, seed=5)
